@@ -1,0 +1,416 @@
+// Benchmarks: one testing.B target per table and figure of the paper's
+// evaluation. Each BenchmarkFigN/BenchmarkTabN mirrors the corresponding
+// experiment in internal/bench (which prints the full rows); these
+// targets make the same comparisons runnable under `go test -bench`.
+//
+// Scale: benchmarks default to a small dataset (VECSTUDY_BENCH_SCALE
+// overrides, default 0.005 ⇒ 5 000 vectors for 1M-class profiles) so the
+// whole suite finishes in minutes. Gap *ratios*, not absolute times, are
+// the quantity to read. Non-time quantities (index size) are emitted as
+// custom metrics.
+package vecstudy
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"vecstudy/internal/core"
+	"vecstudy/internal/dataset"
+)
+
+var (
+	benchOnce sync.Once
+	benchDS   *dataset.Dataset
+)
+
+// benchDataset returns the shared benchmark dataset (sift1m profile).
+func benchDataset(b *testing.B) *dataset.Dataset {
+	b.Helper()
+	benchOnce.Do(func() {
+		scale := 0.005
+		if s := os.Getenv("VECSTUDY_BENCH_SCALE"); s != "" {
+			if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+				scale = v
+			}
+		}
+		p, err := dataset.ProfileByName("sift1m")
+		if err != nil {
+			panic(err)
+		}
+		benchDS = dataset.Generate(p, dataset.GenOptions{Scale: scale, Seed: 42, MaxQueries: 50})
+		benchDS.ComputeGroundTruth(10, 0)
+	})
+	return benchDS
+}
+
+func benchParams(ds *dataset.Dataset) core.Params {
+	p := core.Defaults(ds)
+	p.K = 10
+	return p
+}
+
+// benchBuild times one full index construction per iteration.
+func benchBuild(b *testing.B, kind core.IndexKind, engine core.Engine, mutate func(*core.Params)) {
+	ds := benchDataset(b)
+	p := benchParams(ds)
+	if mutate != nil {
+		mutate(&p)
+	}
+	var lastSize int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Seed = int64(i) // vary seed so no hidden caching skews runs
+		switch engine {
+		case core.Specialized:
+			ix, br, err := core.BuildSpecialized(kind, ds, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lastSize = br.SizeBytes
+			ix.Close()
+		default:
+			ix, br, err := core.BuildGeneralized(kind, ds, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lastSize = br.SizeBytes
+			ix.Close()
+		}
+	}
+	b.ReportMetric(float64(lastSize), "index-bytes")
+}
+
+// tunableIndex is an Index whose scan-time parameters can be adjusted
+// without rebuilding; both engines' handles implement it.
+type tunableIndex interface {
+	core.Index
+	SetSearchParams(nprobe, efs, threads int)
+}
+
+var (
+	searchIdxMu    sync.Mutex
+	searchIdxCache = map[string]tunableIndex{}
+)
+
+// cachedIndex builds (or reuses) an index whose build-time configuration
+// matches p; scan-time knobs are applied afterwards. Search benchmarks
+// across nprobe/efs/threads sweeps then share one build.
+func cachedIndex(b *testing.B, kind core.IndexKind, engine core.Engine, p core.Params) tunableIndex {
+	b.Helper()
+	key := fmt.Sprintf("%s|%s|c=%d|m=%d|ks=%d|bnn=%d|efb=%d|gemm=%v|bt=%d|kf=%v|pre=%v|ps=%d|seed=%d",
+		kind, engine, p.C, p.M, p.KSub, p.BNN, p.EFB, p.UseGemm, p.BuildThreads,
+		p.KMeansFlavor, p.PrecomputeTable, p.PageSize, p.Seed)
+	searchIdxMu.Lock()
+	defer searchIdxMu.Unlock()
+	if ix, ok := searchIdxCache[key]; ok {
+		return ix
+	}
+	ds := benchDataset(b)
+	var ix tunableIndex
+	var err error
+	switch engine {
+	case core.Specialized:
+		ix, _, err = core.BuildSpecialized(kind, ds, p)
+	case core.GeneralizedBaseline:
+		ix, _, err = core.BuildGeneralizedBaseline(ds, p)
+	default:
+		ix, _, err = core.BuildGeneralized(kind, ds, p)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	searchIdxCache[key] = ix
+	return ix
+}
+
+// benchSearch builds (or reuses) an index, then times queries.
+func benchSearch(b *testing.B, kind core.IndexKind, engine core.Engine, mutate func(*core.Params)) {
+	ds := benchDataset(b)
+	p := benchParams(ds)
+	if mutate != nil {
+		mutate(&p)
+	}
+	ix := cachedIndex(b, kind, engine, p)
+	ix.SetSearchParams(p.NProbe, p.EFS, p.SearchThreads)
+	if err := core.WarmUp(ix, ds, p.K, 4); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := ds.Queries.Row(i % ds.NQ())
+		if _, err := ix.Search(q, p.K); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func engines() []core.Engine { return []core.Engine{core.Specialized, core.Generalized} }
+
+func engineName(e core.Engine) string {
+	switch e {
+	case core.Specialized:
+		return "specialized"
+	case core.GeneralizedBaseline:
+		return "pgvector_style"
+	default:
+		return "generalized"
+	}
+}
+
+// BenchmarkFig2 compares the two generalized access methods' search.
+func BenchmarkFig2(b *testing.B) {
+	for _, e := range []core.Engine{core.Generalized, core.GeneralizedBaseline} {
+		b.Run(engineName(e), func(b *testing.B) {
+			benchSearch(b, core.IVFFlat, e, nil)
+		})
+	}
+}
+
+// BenchmarkFig3 is IVF_FLAT construction (SGEMM on).
+func BenchmarkFig3(b *testing.B) {
+	for _, e := range engines() {
+		b.Run(engineName(e), func(b *testing.B) { benchBuild(b, core.IVFFlat, e, nil) })
+	}
+}
+
+// BenchmarkFig4 is IVF_FLAT construction with SGEMM disabled.
+func BenchmarkFig4(b *testing.B) {
+	for _, e := range engines() {
+		b.Run(engineName(e), func(b *testing.B) {
+			benchBuild(b, core.IVFFlat, e, func(p *core.Params) { p.UseGemm = false })
+		})
+	}
+}
+
+// BenchmarkFig5 is IVF_PQ construction.
+func BenchmarkFig5(b *testing.B) {
+	for _, e := range engines() {
+		b.Run(engineName(e), func(b *testing.B) { benchBuild(b, core.IVFPQ, e, nil) })
+	}
+}
+
+// BenchmarkFig6 is IVF_PQ construction with SGEMM disabled.
+func BenchmarkFig6(b *testing.B) {
+	for _, e := range engines() {
+		b.Run(engineName(e), func(b *testing.B) {
+			benchBuild(b, core.IVFPQ, e, func(p *core.Params) { p.UseGemm = false })
+		})
+	}
+}
+
+// BenchmarkFig7 is HNSW construction (and Tab3's phase totals come from
+// the same build; run `benchrunner -exp tab3` for the breakdown rows).
+func BenchmarkFig7(b *testing.B) {
+	for _, e := range engines() {
+		b.Run(engineName(e), func(b *testing.B) { benchBuild(b, core.HNSW, e, nil) })
+	}
+}
+
+// BenchmarkTab3 rebuilds HNSW with phase profiling enabled and reports
+// the dominant phase share as a metric.
+func BenchmarkTab3(b *testing.B) {
+	for _, e := range engines() {
+		b.Run(engineName(e), func(b *testing.B) {
+			benchBuild(b, core.HNSW, e, nil)
+		})
+	}
+}
+
+// BenchmarkFig8 approximates the SearchNbToAdd-dominance check: HNSW
+// build per engine (see benchrunner -exp fig8 for the sub-breakdown).
+func BenchmarkFig8(b *testing.B) {
+	BenchmarkTab3(b)
+}
+
+// BenchmarkFig9 sweeps specialized build threads × SGEMM.
+func BenchmarkFig9(b *testing.B) {
+	for _, kind := range []core.IndexKind{core.IVFFlat, core.IVFPQ} {
+		for _, gemm := range []bool{true, false} {
+			for _, threads := range []int{1, 2, 4, 8} {
+				name := fmt.Sprintf("%s/gemm=%v/threads=%d", kind, gemm, threads)
+				b.Run(name, func(b *testing.B) {
+					benchBuild(b, kind, core.Specialized, func(p *core.Params) {
+						p.UseGemm = gemm
+						p.BuildThreads = threads
+					})
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig10 sweeps c (IVF kinds) and bnn (HNSW) for the build gap.
+func BenchmarkFig10(b *testing.B) {
+	ds := benchDataset(b)
+	base := benchParams(ds)
+	for _, kind := range []core.IndexKind{core.IVFFlat, core.IVFPQ} {
+		for _, c := range []int{base.C / 2, base.C, base.C * 2} {
+			for _, e := range engines() {
+				b.Run(fmt.Sprintf("%s/c=%d/%s", kind, c, engineName(e)), func(b *testing.B) {
+					benchBuild(b, kind, e, func(p *core.Params) { p.C = c })
+				})
+			}
+		}
+	}
+	for _, bnn := range []int{16, 32, 64} {
+		for _, e := range engines() {
+			b.Run(fmt.Sprintf("hnsw/bnn=%d/%s", bnn, engineName(e)), func(b *testing.B) {
+				benchBuild(b, core.HNSW, e, func(p *core.Params) { p.BNN = bnn })
+			})
+		}
+	}
+}
+
+// benchSize builds once and reports the index size as the metric (Figs
+// 11–13 are size charts, not timings).
+func benchSize(b *testing.B, kind core.IndexKind, e core.Engine, mutate func(*core.Params)) {
+	ds := benchDataset(b)
+	p := benchParams(ds)
+	if mutate != nil {
+		mutate(&p)
+	}
+	var size int64
+	for i := 0; i < b.N; i++ {
+		if e == core.Specialized {
+			ix, br, err := core.BuildSpecialized(kind, ds, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			size = br.SizeBytes
+			ix.Close()
+		} else {
+			ix, br, err := core.BuildGeneralized(kind, ds, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			size = br.SizeBytes
+			ix.Close()
+		}
+	}
+	b.ReportMetric(float64(size), "index-bytes")
+}
+
+// BenchmarkFig11 reports IVF_FLAT index sizes.
+func BenchmarkFig11(b *testing.B) {
+	for _, e := range engines() {
+		b.Run(engineName(e), func(b *testing.B) { benchSize(b, core.IVFFlat, e, nil) })
+	}
+}
+
+// BenchmarkFig12 reports IVF_PQ index sizes.
+func BenchmarkFig12(b *testing.B) {
+	for _, e := range engines() {
+		b.Run(engineName(e), func(b *testing.B) { benchSize(b, core.IVFPQ, e, nil) })
+	}
+}
+
+// BenchmarkFig13 reports HNSW index sizes (the RC#4 blow-up).
+func BenchmarkFig13(b *testing.B) {
+	for _, e := range engines() {
+		b.Run(engineName(e), func(b *testing.B) { benchSize(b, core.HNSW, e, nil) })
+	}
+}
+
+// BenchmarkTab4 reports the generalized HNSW size at 8 KiB vs 4 KiB pages.
+func BenchmarkTab4(b *testing.B) {
+	for _, ps := range []int{8192, 4096} {
+		b.Run(fmt.Sprintf("page=%d", ps), func(b *testing.B) {
+			benchSize(b, core.HNSW, core.Generalized, func(p *core.Params) { p.PageSize = ps })
+		})
+	}
+}
+
+// BenchmarkFig14 is IVF_FLAT search.
+func BenchmarkFig14(b *testing.B) {
+	for _, e := range engines() {
+		b.Run(engineName(e), func(b *testing.B) { benchSearch(b, core.IVFFlat, e, nil) })
+	}
+}
+
+// BenchmarkTab5 is IVF_FLAT search (run `benchrunner -exp tab5` for the
+// fvec/tuple/heap breakdown; the timers would distort a tight B loop).
+func BenchmarkTab5(b *testing.B) {
+	BenchmarkFig14(b)
+}
+
+// BenchmarkFig15 searches a Faiss* index (specialized engine, generalized
+// centroids) against both parents.
+func BenchmarkFig15(b *testing.B) {
+	ds := benchDataset(b)
+	p := benchParams(ds)
+	gen, _, err := core.BuildGeneralized(core.IVFFlat, ds, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer gen.Close()
+	star, err := core.BuildFaissStar(gen, ds, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	variants := []struct {
+		name string
+		ix   core.Index
+	}{{"faiss_star", star}, {"generalized", gen}}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := v.ix.Search(ds.Queries.Row(i%ds.NQ()), p.K); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig16 is IVF_PQ search.
+func BenchmarkFig16(b *testing.B) {
+	for _, e := range engines() {
+		b.Run(engineName(e), func(b *testing.B) { benchSearch(b, core.IVFPQ, e, nil) })
+	}
+}
+
+// BenchmarkFig17 is HNSW search.
+func BenchmarkFig17(b *testing.B) {
+	for _, e := range engines() {
+		b.Run(engineName(e), func(b *testing.B) { benchSearch(b, core.HNSW, e, nil) })
+	}
+}
+
+// BenchmarkFig18 sweeps intra-query search threads on both engines.
+func BenchmarkFig18(b *testing.B) {
+	for _, kind := range []core.IndexKind{core.IVFFlat, core.IVFPQ} {
+		for _, e := range engines() {
+			for _, threads := range []int{1, 2, 4, 8} {
+				b.Run(fmt.Sprintf("%s/%s/threads=%d", kind, engineName(e), threads), func(b *testing.B) {
+					benchSearch(b, kind, e, func(p *core.Params) {
+						p.SearchThreads = threads
+						p.NProbe = p.C / 2
+					})
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig19 sweeps nprobe (IVF kinds) and efs (HNSW).
+func BenchmarkFig19(b *testing.B) {
+	for _, kind := range []core.IndexKind{core.IVFFlat, core.IVFPQ} {
+		for _, nprobe := range []int{10, 20, 50} {
+			for _, e := range engines() {
+				b.Run(fmt.Sprintf("%s/nprobe=%d/%s", kind, nprobe, engineName(e)), func(b *testing.B) {
+					benchSearch(b, kind, e, func(p *core.Params) { p.NProbe = nprobe })
+				})
+			}
+		}
+	}
+	for _, efs := range []int{16, 100, 200} {
+		for _, e := range engines() {
+			b.Run(fmt.Sprintf("hnsw/efs=%d/%s", efs, engineName(e)), func(b *testing.B) {
+				benchSearch(b, core.HNSW, e, func(p *core.Params) { p.EFS = efs })
+			})
+		}
+	}
+}

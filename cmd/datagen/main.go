@@ -1,0 +1,59 @@
+// Command datagen emits the synthetic workload datasets in TEXMEX fvecs
+// format (plus brute-force ground truth in ivecs) so they can be consumed
+// by external tools or compared against the real SIFT/GIST/Deep files.
+//
+//	datagen -profile sift1m -scale 0.02 -out ./data
+//
+// produces data/sift1m_base.fvecs, data/sift1m_query.fvecs, and
+// data/sift1m_groundtruth.ivecs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"vecstudy/internal/dataset"
+)
+
+func main() {
+	var (
+		profile = flag.String("profile", "sift1m", "dataset profile (sift1m, gist1m, deep1m, sift10m, deep10m, turing10m)")
+		scale   = flag.Float64("scale", 0.02, "scale factor (1.0 = paper scale)")
+		seed    = flag.Int64("seed", 42, "generator seed")
+		k       = flag.Int("k", 100, "ground-truth neighbors per query")
+		out     = flag.String("out", ".", "output directory")
+	)
+	flag.Parse()
+
+	p, err := dataset.ProfileByName(*profile)
+	if err != nil {
+		fatal(err)
+	}
+	ds := dataset.Generate(p, dataset.GenOptions{Scale: *scale, Seed: *seed})
+	fmt.Printf("generated %s: %d base, %d query, dim %d\n", ds.Name, ds.N(), ds.NQ(), ds.Dim)
+	ds.ComputeGroundTruth(*k, 0)
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	base := filepath.Join(*out, ds.Name+"_base.fvecs")
+	query := filepath.Join(*out, ds.Name+"_query.fvecs")
+	gt := filepath.Join(*out, ds.Name+"_groundtruth.ivecs")
+	if err := dataset.WriteFvecs(base, ds.Base); err != nil {
+		fatal(err)
+	}
+	if err := dataset.WriteFvecs(query, ds.Queries); err != nil {
+		fatal(err)
+	}
+	if err := dataset.WriteIvecs(gt, ds.GroundTruth); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s, %s, %s\n", base, query, gt)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,119 @@
+// Command vdb is an interactive SQL shell over the generalized vector
+// database — the PostgreSQL-style engine with the PASE-style index access
+// methods. It speaks the dialect of internal/pg/sql:
+//
+//	CREATE TABLE t (id int, vec float[]);
+//	INSERT INTO t VALUES (1, '{0.1, 0.2, 0.3}');
+//	CREATE INDEX idx ON t USING ivfflat (vec) WITH (clusters = 256);
+//	SET nprobe = 20;
+//	SELECT id, distance FROM t ORDER BY vec <-> '{0.1,0.2,0.3}' LIMIT 10;
+//
+// With -d the database is file-backed (and persists across runs); without
+// it everything lives in memory. Statements may also be piped on stdin.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	_ "vecstudy/internal/pase/all"
+	"vecstudy/internal/pg/db"
+	"vecstudy/internal/pg/sql"
+)
+
+func main() {
+	var (
+		dir      = flag.String("d", "", "database directory (empty = in-memory)")
+		pageSize = flag.Int("pagesize", 8192, "page size in bytes")
+		enWAL    = flag.Bool("wal", false, "enable write-ahead logging (requires -d)")
+	)
+	flag.Parse()
+
+	d, err := db.Open(db.Config{Dir: *dir, PageSize: *pageSize, EnableWAL: *enWAL})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vdb: %v\n", err)
+		os.Exit(1)
+	}
+	defer d.Close()
+	sess := sql.NewSession(d)
+
+	interactive := isTerminal()
+	if interactive {
+		fmt.Println("vdb — generalized vector database shell (\\q to quit)")
+	}
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<26)
+	var stmt strings.Builder
+	for {
+		if interactive {
+			if stmt.Len() == 0 {
+				fmt.Print("vdb> ")
+			} else {
+				fmt.Print("...> ")
+			}
+		}
+		if !scanner.Scan() {
+			break
+		}
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if stmt.Len() == 0 && (trimmed == "" || strings.HasPrefix(trimmed, "--")) {
+			continue
+		}
+		if trimmed == `\q` || trimmed == "quit" || trimmed == "exit" {
+			break
+		}
+		stmt.WriteString(line)
+		stmt.WriteByte('\n')
+		if !strings.HasSuffix(trimmed, ";") {
+			continue
+		}
+		runStatement(sess, stmt.String())
+		stmt.Reset()
+	}
+	if stmt.Len() > 0 {
+		runStatement(sess, stmt.String())
+	}
+	if err := scanner.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "vdb: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func runStatement(sess *sql.Session, text string) {
+	res, err := sess.Execute(text)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ERROR: %v\n", err)
+		return
+	}
+	if res.Msg != "" {
+		fmt.Println(res.Msg)
+		return
+	}
+	fmt.Println(strings.Join(res.Cols, " | "))
+	for _, row := range res.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			switch val := v.(type) {
+			case []float32:
+				if len(val) > 8 {
+					parts[i] = fmt.Sprintf("%v…(%d dims)", val[:8], len(val))
+				} else {
+					parts[i] = fmt.Sprintf("%v", val)
+				}
+			default:
+				parts[i] = fmt.Sprintf("%v", v)
+			}
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
+	fmt.Printf("(%d rows)\n", len(res.Rows))
+}
+
+func isTerminal() bool {
+	info, err := os.Stdin.Stat()
+	return err == nil && info.Mode()&os.ModeCharDevice != 0
+}

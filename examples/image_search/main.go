@@ -1,0 +1,68 @@
+// image_search simulates the application the paper's introduction
+// motivates: similarity search over learned image embeddings. It
+// generates a GIST-shaped corpus (960-dim embeddings), builds an HNSW
+// index in each engine, and serves "find visually similar images"
+// queries, reporting the latency/recall trade-off across efs — the knob
+// an application operator actually tunes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"vecstudy"
+)
+
+func main() {
+	// 5 000 synthetic "image embeddings" (GIST1M profile: 960 dims).
+	ds, err := vecstudy.GenerateDataset("gist1m", 0.005, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds.ComputeGroundTruth(10, 0)
+	fmt.Printf("image corpus: %d embeddings × %d dims\n", ds.N(), ds.Dim)
+
+	p := vecstudy.Defaults(ds)
+	p.K = 10
+
+	fmt.Println("building HNSW in both engines (bnn=16, efb=40)...")
+	spec, sb, err := vecstudy.BuildSpecialized(vecstudy.HNSW, ds, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen, gb, err := vecstudy.BuildGeneralized(vecstudy.HNSW, ds, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer gen.Close()
+	fmt.Printf("  specialized: built in %v, %0.1f MB\n", sb.Total.Round(time.Millisecond), float64(sb.SizeBytes)/(1<<20))
+	fmt.Printf("  generalized: built in %v, %0.1f MB (%.1f× larger — RC#4)\n",
+		gb.Total.Round(time.Millisecond), float64(gb.SizeBytes)/(1<<20),
+		float64(gb.SizeBytes)/float64(sb.SizeBytes))
+
+	fmt.Println("\nlatency/recall trade-off (the operator's efs knob):")
+	fmt.Println("efs    engine       avg_query   recall@10")
+	for _, efs := range []int{16, 64, 200} {
+		spec.SetSearchParams(0, efs, 0)
+		gen.SetSearchParams(0, efs, 0)
+		for _, entry := range []struct {
+			name string
+			ix   vecstudy.Index
+		}{{"specialized", spec}, {"generalized", gen}} {
+			res, err := vecstudy.RunSearch(entry.ix, ds, 10)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-6d %-12s %-11v %.3f\n", efs, entry.name,
+				res.AvgLatency.Round(time.Microsecond), res.Recall)
+		}
+	}
+
+	// A concrete query: "images similar to query #3".
+	ids, err := gen.Search(ds.Queries.Row(3), 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nimages most similar to query #3 (generalized engine): %v\n", ids)
+}

@@ -1,0 +1,3 @@
+module vecstudy
+
+go 1.22

@@ -1,0 +1,83 @@
+package bench
+
+import "vecstudy/internal/core"
+
+func init() {
+	register(Experiment{
+		ID:    "fig11",
+		Title: "IVF_FLAT index size, both engines",
+		Paper: "sizes are almost identical — the IVF page layout aligns with the memory layout",
+		Run:   func(cfg *Config) error { return runSize(cfg, core.IVFFlat) },
+	})
+	register(Experiment{
+		ID:    "fig12",
+		Title: "IVF_PQ index size, both engines",
+		Paper: "no obvious size difference, same reason as Fig 11",
+		Run:   func(cfg *Config) error { return runSize(cfg, core.IVFPQ) },
+	})
+	register(Experiment{
+		ID:    "fig13",
+		Title: "HNSW index size, both engines",
+		Paper: "PASE consumes 2.9×–13.3× more space (24-byte neighbor tuples + page per adjacency list, RC#4)",
+		Run:   func(cfg *Config) error { return runSize(cfg, core.HNSW) },
+	})
+	register(Experiment{
+		ID:    "tab4",
+		Title: "PASE HNSW index size at 8 KiB vs 4 KiB pages",
+		Paper: "halving the page size (8333→4464 MB on SIFT1M) almost halves the index",
+		Run:   runTab4,
+	})
+}
+
+func runSize(cfg *Config, kind core.IndexKind) error {
+	cfg.printf("dataset       spec_MB    gen_MB     ratio_x\n")
+	for _, name := range cfg.Datasets {
+		ds, err := cfg.Dataset(name, 10)
+		if err != nil {
+			return err
+		}
+		p := core.Defaults(ds)
+		spec, sb, err := core.BuildSpecialized(kind, ds, p)
+		if err != nil {
+			return err
+		}
+		spec.Close()
+		gen, gb, err := core.BuildGeneralized(kind, ds, p)
+		if err != nil {
+			return err
+		}
+		gen.Close()
+		r := 0.0
+		if sb.SizeBytes > 0 {
+			r = float64(gb.SizeBytes) / float64(sb.SizeBytes)
+		}
+		cfg.printf("%-13s %-10.2f %-10.2f %.2f\n", name, mb(sb.SizeBytes), mb(gb.SizeBytes), r)
+	}
+	return nil
+}
+
+func runTab4(cfg *Config) error {
+	// The paper uses the three 1M-class datasets.
+	names := []string{"sift1m", "gist1m", "deep1m"}
+	cfg.printf("dataset       page_8K_MB  page_4K_MB  ratio_x\n")
+	for _, name := range names {
+		ds, err := cfg.Dataset(name, 10)
+		if err != nil {
+			return err
+		}
+		sizes := map[int]int64{}
+		for _, pageSize := range []int{8192, 4096} {
+			p := core.Defaults(ds)
+			p.PageSize = pageSize
+			gen, gb, err := core.BuildGeneralized(core.HNSW, ds, p)
+			if err != nil {
+				return err
+			}
+			gen.Close()
+			sizes[pageSize] = gb.SizeBytes
+		}
+		cfg.printf("%-13s %-11.2f %-11.2f %.2f\n", name, mb(sizes[8192]), mb(sizes[4096]),
+			float64(sizes[8192])/float64(sizes[4096]))
+	}
+	return nil
+}

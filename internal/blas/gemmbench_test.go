@@ -1,0 +1,53 @@
+package blas_test
+
+import (
+	"math/rand"
+	"testing"
+	"vecstudy/internal/blas"
+	vecpkg "vecstudy/internal/vec"
+)
+
+func benchData(n int) []float32 {
+	rng := rand.New(rand.NewSource(1))
+	m := make([]float32, n)
+	for i := range m {
+		m[i] = float32(rng.NormFloat64())
+	}
+	return m
+}
+
+func BenchmarkGemmNT_1024x128x45(b *testing.B) {
+	a, bm := benchData(1024*128), benchData(45*128)
+	c := make([]float32, 1024*45)
+	b.SetBytes(int64(1024 * 45 * 128 * 2))
+	for i := 0; i < b.N; i++ {
+		blas.GemmNT(a, 1024, 128, bm, 45, c)
+	}
+}
+
+func BenchmarkGemmNT_1024x128x1000(b *testing.B) {
+	a, bm := benchData(1024*128), benchData(1000*128)
+	c := make([]float32, 1024*1000)
+	b.SetBytes(int64(1024 * 1000 * 128 * 2))
+	for i := 0; i < b.N; i++ {
+		blas.GemmNT(a, 1024, 128, bm, 1000, c)
+	}
+}
+
+func BenchmarkNaiveL2_1024x128x45(b *testing.B) {
+	a, bm := benchData(1024*128), benchData(45*128)
+	c := make([]float32, 1024*45)
+	b.SetBytes(int64(1024 * 45 * 128 * 2))
+	for i := 0; i < b.N; i++ {
+		vecpkg.DistancesL2Naive(a, 1024, bm, 45, 128, c)
+	}
+}
+
+func BenchmarkNaiveL2_1024x128x1000(b *testing.B) {
+	a, bm := benchData(1024*128), benchData(1000*128)
+	c := make([]float32, 1024*1000)
+	b.SetBytes(int64(1024 * 1000 * 128 * 2))
+	for i := 0; i < b.N; i++ {
+		vecpkg.DistancesL2Naive(a, 1024, bm, 1000, 128, c)
+	}
+}

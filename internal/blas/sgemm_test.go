@@ -1,0 +1,99 @@
+package blas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randMat(rng *rand.Rand, n int) []float32 {
+	m := make([]float32, n)
+	for i := range m {
+		m[i] = float32(rng.NormFloat64())
+	}
+	return m
+}
+
+func maxAbsDiff(a, b []float32) float64 {
+	var worst float64
+	for i := range a {
+		if d := math.Abs(float64(a[i]) - float64(b[i])); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func TestGemmNTMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	shapes := []struct{ m, k, n int }{
+		{1, 1, 1}, {2, 3, 4}, {7, 5, 3}, {64, 64, 64}, {65, 257, 63},
+		{100, 128, 50}, {blockM + 1, blockK + 1, blockN + 1},
+	}
+	for _, s := range shapes {
+		a := randMat(rng, s.m*s.k)
+		b := randMat(rng, s.n*s.k)
+		want := make([]float32, s.m*s.n)
+		got := make([]float32, s.m*s.n)
+		GemmNTRef(a, s.m, s.k, b, s.n, want)
+		GemmNT(a, s.m, s.k, b, s.n, got)
+		if d := maxAbsDiff(want, got); d > 1e-3*float64(s.k) {
+			t.Errorf("shape %+v: max diff %v", s, d)
+		}
+	}
+}
+
+func TestGemmNTOverwritesC(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m, k, n := 8, 16, 8
+	a, b := randMat(rng, m*k), randMat(rng, n*k)
+	c1 := make([]float32, m*n)
+	c2 := make([]float32, m*n)
+	for i := range c2 {
+		c2[i] = 1e9 // stale garbage must not leak into the result
+	}
+	GemmNT(a, m, k, b, n, c1)
+	GemmNT(a, m, k, b, n, c2)
+	if d := maxAbsDiff(c1, c2); d != 0 {
+		t.Errorf("GemmNT did not fully overwrite C: diff %v", d)
+	}
+}
+
+func TestGemmNTParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, k, n := 300, 96, 40
+	a, b := randMat(rng, m*k), randMat(rng, n*k)
+	serial := make([]float32, m*n)
+	GemmNT(a, m, k, b, n, serial)
+	for _, threads := range []int{0, 1, 2, 4, 7} {
+		par := make([]float32, m*n)
+		GemmNTParallel(a, m, k, b, n, par, threads)
+		if d := maxAbsDiff(serial, par); d > 1e-4*float64(k) {
+			t.Errorf("threads=%d: max diff %v", threads, d)
+		}
+	}
+}
+
+func TestGemmNTEmpty(t *testing.T) {
+	// Must not panic on empty inputs.
+	GemmNT(nil, 0, 4, nil, 0, nil)
+	GemmNTParallel(nil, 0, 4, nil, 0, nil, 4)
+}
+
+func TestGemmNTPropertyRandomShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n := 1+r.Intn(40), 1+r.Intn(80), 1+r.Intn(40)
+		a, b := randMat(rng, m*k), randMat(rng, n*k)
+		want := make([]float32, m*n)
+		got := make([]float32, m*n)
+		GemmNTRef(a, m, k, b, n, want)
+		GemmNT(a, m, k, b, n, got)
+		return maxAbsDiff(want, got) <= 1e-3*float64(k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,257 @@
+// Package dataset supplies the workloads for every experiment: seeded
+// synthetic stand-ins for the paper's six real datasets, fvecs/ivecs file
+// IO so the real files can be substituted when available, brute-force
+// ground truth, and recall computation.
+//
+// Substitution note (DESIGN.md §2): the original SIFT/GIST/Deep/Turing
+// files are not redistributable and total tens of GB. Every root cause
+// in the paper depends on dimensionality, cardinality and cluster
+// structure rather than the specific embedding distribution, so the
+// generators produce Gaussian mixtures matching each dataset's shape. A
+// scale factor shrinks cardinality for laptop-sized runs while preserving
+// the c = √n rule and all index parameters.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"vecstudy/internal/minheap"
+	"vecstudy/internal/vec"
+)
+
+// Profile describes one of the paper's datasets (Table I).
+type Profile struct {
+	Name        string
+	Dim         int
+	FullN       int // cardinality at paper scale
+	FullQueries int
+	// LatentClusters controls the Gaussian mixture used by the generator;
+	// real embedding datasets are strongly clustered, which is what makes
+	// IVF probing effective.
+	LatentClusters int
+	// Spread is the standard deviation of cluster centers around the
+	// origin; Noise is the within-cluster standard deviation.
+	Spread, Noise float64
+	// PQM is the paper's per-dataset default for the IVF_PQ sub-vector
+	// count m (Table II).
+	PQM int
+}
+
+// Profiles lists the six datasets of Table I in paper order.
+var Profiles = []Profile{
+	{Name: "sift1m", Dim: 128, FullN: 1_000_000, FullQueries: 10_000, LatentClusters: 200, Spread: 30, Noise: 12, PQM: 16},
+	{Name: "gist1m", Dim: 960, FullN: 1_000_000, FullQueries: 1_000, LatentClusters: 150, Spread: 8, Noise: 4, PQM: 60},
+	{Name: "deep1m", Dim: 256, FullN: 1_000_000, FullQueries: 1_000, LatentClusters: 180, Spread: 12, Noise: 6, PQM: 16},
+	{Name: "sift10m", Dim: 128, FullN: 10_000_000, FullQueries: 10_000, LatentClusters: 400, Spread: 30, Noise: 12, PQM: 16},
+	{Name: "deep10m", Dim: 96, FullN: 10_000_000, FullQueries: 10_000, LatentClusters: 350, Spread: 12, Noise: 6, PQM: 12},
+	{Name: "turing10m", Dim: 100, FullN: 10_000_000, FullQueries: 10_000, LatentClusters: 350, Spread: 10, Noise: 5, PQM: 10},
+}
+
+// ProfileByName looks a profile up by its Table I name.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("dataset: unknown profile %q", name)
+}
+
+// Dataset is a generated (or loaded) workload: base vectors, query
+// vectors, and optionally brute-force ground truth.
+type Dataset struct {
+	Name    string
+	Dim     int
+	Base    *vec.Flat
+	Queries *vec.Flat
+	// GroundTruth[q] lists the IDs (row indices into Base) of the true
+	// nearest neighbors of query q, ascending by distance. Populated by
+	// ComputeGroundTruth or loaded from an ivecs file.
+	GroundTruth [][]int32
+}
+
+// N returns the number of base vectors.
+func (ds *Dataset) N() int { return ds.Base.N() }
+
+// NQ returns the number of query vectors.
+func (ds *Dataset) NQ() int { return ds.Queries.N() }
+
+// GenOptions controls Generate.
+type GenOptions struct {
+	// Scale shrinks FullN and FullQueries; 1.0 is paper scale. Values in
+	// (0,1) produce laptop-scale datasets. 0 defaults to 0.02.
+	Scale float64
+	// Seed makes generation deterministic; the same (profile, scale,
+	// seed) always produces byte-identical data.
+	Seed int64
+	// MaxQueries caps the query count regardless of scale (benchmarks
+	// that average over queries rarely need all 10 000).
+	MaxQueries int
+}
+
+// Generate synthesizes a dataset for the given profile.
+func Generate(p Profile, opt GenOptions) *Dataset {
+	scale := opt.Scale
+	if scale <= 0 {
+		scale = 0.02
+	}
+	n := int(float64(p.FullN) * scale)
+	if n < 1000 {
+		n = 1000
+	}
+	nq := int(float64(p.FullQueries) * scale)
+	if nq < 20 {
+		nq = 20
+	}
+	if opt.MaxQueries > 0 && nq > opt.MaxQueries {
+		nq = opt.MaxQueries
+	}
+	rng := rand.New(rand.NewSource(opt.Seed ^ int64(len(p.Name))<<32 ^ int64(p.Dim)))
+
+	centers := make([]float32, p.LatentClusters*p.Dim)
+	for i := range centers {
+		centers[i] = float32(rng.NormFloat64() * p.Spread)
+	}
+	// Cluster populations follow a Zipf-ish skew, as real embedding
+	// corpora do; this matters for IVF bucket-size distributions.
+	weights := make([]float64, p.LatentClusters)
+	var wsum float64
+	for i := range weights {
+		weights[i] = 1 / float64(i+3)
+		wsum += weights[i]
+	}
+	cum := make([]float64, p.LatentClusters)
+	var acc float64
+	for i, w := range weights {
+		acc += w / wsum
+		cum[i] = acc
+	}
+	pick := func() int {
+		r := rng.Float64()
+		i := sort.SearchFloat64s(cum, r)
+		if i >= p.LatentClusters {
+			i = p.LatentClusters - 1
+		}
+		return i
+	}
+	genInto := func(m *vec.Flat, count int) {
+		row := make([]float32, p.Dim)
+		for i := 0; i < count; i++ {
+			ci := pick()
+			c := centers[ci*p.Dim : (ci+1)*p.Dim]
+			for j := 0; j < p.Dim; j++ {
+				row[j] = c[j] + float32(rng.NormFloat64()*p.Noise)
+			}
+			m.Append(row)
+		}
+	}
+	ds := &Dataset{Name: p.Name, Dim: p.Dim, Base: vec.NewFlat(p.Dim, n), Queries: vec.NewFlat(p.Dim, nq)}
+	genInto(ds.Base, n)
+	genInto(ds.Queries, nq)
+	return ds
+}
+
+// ComputeGroundTruth fills GroundTruth with the exact top-k neighbors of
+// every query by brute force, parallelized across queries.
+func (ds *Dataset) ComputeGroundTruth(k, threads int) {
+	n, d := ds.Base.N(), ds.Dim
+	if k > n {
+		k = n
+	}
+	gt := make([][]int32, ds.Queries.N())
+	parallelFor(ds.Queries.N(), threads, func(q int) {
+		heap := minheap.NewTopK(k)
+		query := ds.Queries.Row(q)
+		for i := 0; i < n; i++ {
+			heap.Push(int64(i), vec.L2Sqr(query, ds.Base.Data[i*d:(i+1)*d]))
+		}
+		items := heap.Results()
+		ids := make([]int32, len(items))
+		for j, it := range items {
+			ids[j] = int32(it.ID)
+		}
+		gt[q] = ids
+	})
+	ds.GroundTruth = gt
+}
+
+// Recall computes recall@k: the mean fraction of each query's true top-k
+// IDs present in the returned top-k. results[q] holds the IDs returned for
+// query q (only the first k entries are considered).
+func (ds *Dataset) Recall(results [][]int64, k int) float64 {
+	if len(ds.GroundTruth) == 0 {
+		panic("dataset: ground truth not computed")
+	}
+	var total, hits float64
+	for q, res := range results {
+		truth := ds.GroundTruth[q]
+		if len(truth) > k {
+			truth = truth[:k]
+		}
+		set := make(map[int64]struct{}, len(truth))
+		for _, id := range truth {
+			set[int64(id)] = struct{}{}
+		}
+		if len(res) > k {
+			res = res[:k]
+		}
+		for _, id := range res {
+			if _, ok := set[id]; ok {
+				hits++
+			}
+		}
+		total += float64(len(truth))
+	}
+	if total == 0 {
+		return 0
+	}
+	return hits / total
+}
+
+// NumClusters returns the paper's cluster-count rule c = √n applied to the
+// (possibly scaled) dataset.
+func (ds *Dataset) NumClusters() int {
+	c := 1
+	for c*c < ds.N() {
+		c++
+	}
+	if c < 4 {
+		c = 4
+	}
+	return c
+}
+
+func parallelFor(n, threads int, fn func(i int)) {
+	if threads <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	type job struct{ lo, hi int }
+	per := (n + threads - 1) / threads
+	done := make(chan struct{}, threads)
+	workers := 0
+	for t := 0; t < threads; t++ {
+		lo := t * per
+		if lo >= n {
+			break
+		}
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		workers++
+		go func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+			done <- struct{}{}
+		}(lo, hi)
+	}
+	for i := 0; i < workers; i++ {
+		<-done
+	}
+}

@@ -1,0 +1,172 @@
+package dataset
+
+import (
+	"path/filepath"
+	"testing"
+
+	"vecstudy/internal/vec"
+)
+
+func tiny(t *testing.T) *Dataset {
+	t.Helper()
+	p, err := ProfileByName("sift1m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Generate(p, GenOptions{Scale: 0.002, Seed: 1, MaxQueries: 25})
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, p := range Profiles {
+		got, err := ProfileByName(p.Name)
+		if err != nil || got.Dim != p.Dim {
+			t.Errorf("ProfileByName(%q) = %+v, %v", p.Name, got, err)
+		}
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Error("accepted unknown profile")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	ds := tiny(t)
+	if ds.Dim != 128 {
+		t.Errorf("Dim = %d", ds.Dim)
+	}
+	if ds.N() != 2000 {
+		t.Errorf("N = %d, want 2000 (0.002 × 1M)", ds.N())
+	}
+	if ds.NQ() != 20 {
+		t.Errorf("NQ = %d, want 20 (floor at 20)", ds.NQ())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p, _ := ProfileByName("deep1m")
+	a := Generate(p, GenOptions{Scale: 0.001, Seed: 9})
+	b := Generate(p, GenOptions{Scale: 0.001, Seed: 9})
+	for i := range a.Base.Data {
+		if a.Base.Data[i] != b.Base.Data[i] {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	c := Generate(p, GenOptions{Scale: 0.001, Seed: 10})
+	same := true
+	for i := range a.Base.Data {
+		if a.Base.Data[i] != c.Base.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestGroundTruthAndRecall(t *testing.T) {
+	ds := tiny(t)
+	ds.ComputeGroundTruth(10, 4)
+	if len(ds.GroundTruth) != ds.NQ() {
+		t.Fatalf("ground truth rows %d != queries %d", len(ds.GroundTruth), ds.NQ())
+	}
+	// Ground truth rows must be sorted ascending by true distance.
+	q0 := ds.Queries.Row(0)
+	prev := float32(-1)
+	for _, id := range ds.GroundTruth[0] {
+		d := vec.L2Sqr(q0, ds.Base.Row(int(id)))
+		if d < prev {
+			t.Fatalf("ground truth not sorted: %v after %v", d, prev)
+		}
+		prev = d
+	}
+	// Perfect results give recall 1; disjoint results give 0.
+	perfect := make([][]int64, ds.NQ())
+	disjoint := make([][]int64, ds.NQ())
+	for q := range perfect {
+		ids := make([]int64, len(ds.GroundTruth[q]))
+		for i, id := range ds.GroundTruth[q] {
+			ids[i] = int64(id)
+		}
+		perfect[q] = ids
+		disjoint[q] = []int64{int64(ds.N() + 1), int64(ds.N() + 2)}
+	}
+	if r := ds.Recall(perfect, 10); r != 1 {
+		t.Errorf("perfect recall = %v", r)
+	}
+	if r := ds.Recall(disjoint, 10); r != 0 {
+		t.Errorf("disjoint recall = %v", r)
+	}
+}
+
+func TestGroundTruthSerialMatchesParallel(t *testing.T) {
+	ds := tiny(t)
+	ds.ComputeGroundTruth(5, 1)
+	serial := ds.GroundTruth
+	ds.ComputeGroundTruth(5, 8)
+	for q := range serial {
+		for i := range serial[q] {
+			if serial[q][i] != ds.GroundTruth[q][i] {
+				t.Fatalf("query %d rank %d: serial %d vs parallel %d", q, i, serial[q][i], ds.GroundTruth[q][i])
+			}
+		}
+	}
+}
+
+func TestNumClusters(t *testing.T) {
+	ds := tiny(t)
+	c := ds.NumClusters()
+	if c*c < ds.N() || (c-1)*(c-1) >= ds.N() {
+		t.Errorf("NumClusters = %d for n = %d, want ceil(sqrt)", c, ds.N())
+	}
+}
+
+func TestFvecsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.fvecs")
+	m := vec.NewFlat(4, 3)
+	m.Append([]float32{1, 2, 3, 4})
+	m.Append([]float32{5, 6, 7, 8})
+	m.Append([]float32{-1, 0, 1, 2.5})
+	if err := WriteFvecs(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFvecs(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 3 || got.D != 4 {
+		t.Fatalf("shape %d×%d", got.N(), got.D)
+	}
+	for i := range m.Data {
+		if got.Data[i] != m.Data[i] {
+			t.Fatalf("data mismatch at %d", i)
+		}
+	}
+	// maxRows caps the read.
+	capped, err := ReadFvecs(path, 2)
+	if err != nil || capped.N() != 2 {
+		t.Fatalf("capped read: %v rows, err %v", capped.N(), err)
+	}
+}
+
+func TestIvecsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "gt.ivecs")
+	rows := [][]int32{{1, 2, 3}, {7, 8, 9}}
+	if err := WriteIvecs(path, rows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIvecs(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1][2] != 9 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestReadFvecsErrors(t *testing.T) {
+	if _, err := ReadFvecs(filepath.Join(t.TempDir(), "missing.fvecs"), 0); err == nil {
+		t.Error("read of missing file succeeded")
+	}
+}

@@ -1,0 +1,59 @@
+package hnsw
+
+// candQueue is a binary min-heap of (vertex, distance) pairs ordered by
+// ascending distance — the "candidates to explore" queue of the HNSW beam
+// search. It is separate from minheap.TopK (a bounded *max*-heap of
+// results) because the two have opposite orderings.
+type candQueue struct {
+	ids   []int32
+	dists []float32
+}
+
+func newCandQueue() *candQueue {
+	return &candQueue{ids: make([]int32, 0, 64), dists: make([]float32, 0, 64)}
+}
+
+func (q *candQueue) len() int { return len(q.ids) }
+
+func (q *candQueue) push(id int32, dist float32) {
+	q.ids = append(q.ids, id)
+	q.dists = append(q.dists, dist)
+	i := len(q.ids) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q.dists[parent] <= q.dists[i] {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *candQueue) pop() (int32, float32) {
+	id, dist := q.ids[0], q.dists[0]
+	last := len(q.ids) - 1
+	q.ids[0], q.dists[0] = q.ids[last], q.dists[last]
+	q.ids, q.dists = q.ids[:last], q.dists[:last]
+	i, n := 0, last
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.dists[l] < q.dists[smallest] {
+			smallest = l
+		}
+		if r < n && q.dists[r] < q.dists[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q.swap(i, smallest)
+		i = smallest
+	}
+	return id, dist
+}
+
+func (q *candQueue) swap(i, j int) {
+	q.ids[i], q.ids[j] = q.ids[j], q.ids[i]
+	q.dists[i], q.dists[j] = q.dists[j], q.dists[i]
+}

@@ -1,0 +1,192 @@
+// Package minheap implements the top-k selection machinery whose cost the
+// paper isolates as RC#6 (heap of size n instead of size k) and part of
+// RC#3 (a lock-guarded shared heap versus per-thread local heaps).
+//
+// Three strategies are provided:
+//
+//   - TopK: a bounded max-heap of size k; pushing is O(log k) and only
+//     happens when a candidate beats the current k-th best. This is the
+//     Faiss strategy.
+//   - Collector: accumulate all n candidates, heapify, then pop k.
+//     This is the PASE strategy the paper measures in Table V.
+//   - SharedTopK: a TopK behind a mutex, the PASE intra-query parallel
+//     strategy in Fig 18; Faiss instead merges thread-local TopKs.
+package minheap
+
+import "sort"
+
+// Item is a candidate search result: an opaque 64-bit identifier and its
+// distance to the query (smaller is better).
+type Item struct {
+	ID   int64
+	Dist float32
+}
+
+// TopK keeps the k smallest-distance items seen so far using a bounded
+// binary max-heap: the root is the current worst of the best k, so a new
+// candidate is accepted only if it beats the root.
+type TopK struct {
+	k     int
+	items []Item // max-heap on Dist once len == k
+}
+
+// NewTopK returns a collector for the k best items. k must be ≥ 1.
+func NewTopK(k int) *TopK {
+	if k < 1 {
+		panic("minheap: k must be >= 1")
+	}
+	return &TopK{k: k, items: make([]Item, 0, k)}
+}
+
+// K returns the configured capacity.
+func (h *TopK) K() int { return h.k }
+
+// Len returns the number of items currently held (≤ k).
+func (h *TopK) Len() int { return len(h.items) }
+
+// Worst returns the largest distance currently in the heap, or +Inf-like
+// behaviour via ok=false when the heap is not yet full. Candidates with
+// Dist ≥ Worst cannot improve the result once ok is true.
+func (h *TopK) Worst() (float32, bool) {
+	if len(h.items) < h.k {
+		return 0, false
+	}
+	return h.items[0].Dist, true
+}
+
+// Push offers a candidate. It returns true if the candidate was kept.
+func (h *TopK) Push(id int64, dist float32) bool {
+	if len(h.items) < h.k {
+		h.items = append(h.items, Item{ID: id, Dist: dist})
+		h.siftUp(len(h.items) - 1)
+		return true
+	}
+	if dist >= h.items[0].Dist {
+		return false
+	}
+	h.items[0] = Item{ID: id, Dist: dist}
+	h.siftDown(0)
+	return true
+}
+
+func (h *TopK) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].Dist >= h.items[i].Dist {
+			return
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *TopK) siftDown(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && h.items[l].Dist > h.items[largest].Dist {
+			largest = l
+		}
+		if r < n && h.items[r].Dist > h.items[largest].Dist {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h.items[i], h.items[largest] = h.items[largest], h.items[i]
+		i = largest
+	}
+}
+
+// Results returns the collected items sorted by ascending distance.
+// The heap is consumed conceptually but remains usable (results are
+// copied out).
+func (h *TopK) Results() []Item {
+	out := make([]Item, len(h.items))
+	copy(out, h.items)
+	sortItems(out)
+	return out
+}
+
+// Merge folds every item of other into h. It is the reduction step of the
+// Faiss local-heap parallel strategy.
+func (h *TopK) Merge(other *TopK) {
+	for _, it := range other.items {
+		h.Push(it.ID, it.Dist)
+	}
+}
+
+// Reset empties the heap for reuse without reallocating.
+func (h *TopK) Reset() { h.items = h.items[:0] }
+
+// Collector implements the PASE top-k strategy (RC#6): every candidate is
+// appended to a slice of size n, which is then heapified as a *min*-heap
+// and popped k times. Compared to TopK this costs O(n) memory and
+// O(n + k·log n) pops instead of O(k) memory and mostly-rejected pushes.
+type Collector struct {
+	items []Item
+}
+
+// NewCollector returns an empty collector; sizeHint preallocates.
+func NewCollector(sizeHint int) *Collector {
+	return &Collector{items: make([]Item, 0, sizeHint)}
+}
+
+// Push appends a candidate unconditionally (that is the point: PASE pays
+// for every candidate regardless of whether it can make the top k).
+func (c *Collector) Push(id int64, dist float32) {
+	c.items = append(c.items, Item{ID: id, Dist: dist})
+}
+
+// Len returns the number of collected candidates.
+func (c *Collector) Len() int { return len(c.items) }
+
+// PopK heapifies all collected items and pops the k smallest, mirroring
+// PASE's n-sized heap. The collector is drained.
+func (c *Collector) PopK(k int) []Item {
+	n := len(c.items)
+	// Build a min-heap over all n items (Floyd heapify, O(n)).
+	for i := n/2 - 1; i >= 0; i-- {
+		c.minSiftDown(i, n)
+	}
+	if k > n {
+		k = n
+	}
+	out := make([]Item, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, c.items[0])
+		n--
+		c.items[0] = c.items[n]
+		c.minSiftDown(0, n)
+	}
+	c.items = c.items[:0]
+	return out
+}
+
+func (c *Collector) minSiftDown(i, n int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && c.items[l].Dist < c.items[smallest].Dist {
+			smallest = l
+		}
+		if r < n && c.items[r].Dist < c.items[smallest].Dist {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		c.items[i], c.items[smallest] = c.items[smallest], c.items[i]
+		i = smallest
+	}
+}
+
+func sortItems(items []Item) {
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].Dist != items[j].Dist {
+			return items[i].Dist < items[j].Dist
+		}
+		return items[i].ID < items[j].ID
+	})
+}

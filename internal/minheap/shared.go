@@ -1,0 +1,46 @@
+package minheap
+
+import "sync"
+
+// SharedTopK is a TopK guarded by a mutex, used to model PASE's
+// intra-query parallel search: every worker thread pushes each candidate
+// into one global heap, serializing on the lock (paper Fig 18). The
+// contrasting Faiss strategy is per-worker TopK heaps merged at the end
+// (see TopK.Merge).
+type SharedTopK struct {
+	mu   sync.Mutex
+	heap *TopK
+}
+
+// NewSharedTopK returns a lock-guarded top-k collector.
+func NewSharedTopK(k int) *SharedTopK {
+	return &SharedTopK{heap: NewTopK(k)}
+}
+
+// Push offers a candidate under the global lock.
+func (s *SharedTopK) Push(id int64, dist float32) bool {
+	s.mu.Lock()
+	kept := s.heap.Push(id, dist)
+	s.mu.Unlock()
+	return kept
+}
+
+// Results returns the k best items sorted by ascending distance.
+func (s *SharedTopK) Results() []Item {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.heap.Results()
+}
+
+// MergeLocal merges per-worker local heaps into a single result set — the
+// Faiss reduction. It exists here so benchmarks can express both
+// strategies against the same interface.
+func MergeLocal(k int, locals []*TopK) []Item {
+	global := NewTopK(k)
+	for _, l := range locals {
+		if l != nil {
+			global.Merge(l)
+		}
+	}
+	return global.Results()
+}

@@ -1,0 +1,14 @@
+// Package all registers every generalized index access method (the three
+// PASE AMs plus the pgvector-style baseline) with the am registry. Blank
+// import it wherever the generalized engine must resolve `USING <am>`
+// clauses:
+//
+//	import _ "vecstudy/internal/pase/all"
+package all
+
+import (
+	_ "vecstudy/internal/pase/hnsw"
+	_ "vecstudy/internal/pase/ivfflat"
+	_ "vecstudy/internal/pase/ivfpq"
+	_ "vecstudy/internal/pgvector"
+)

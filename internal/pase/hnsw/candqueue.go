@@ -1,0 +1,57 @@
+package hnsw
+
+// candQueue is a binary min-heap of (VID, distance) pairs — the
+// exploration frontier of the beam search, ordered by ascending distance.
+type candQueue struct {
+	vids  []VID
+	dists []float32
+}
+
+func newCandQueue() *candQueue {
+	return &candQueue{vids: make([]VID, 0, 64), dists: make([]float32, 0, 64)}
+}
+
+func (q *candQueue) len() int { return len(q.vids) }
+
+func (q *candQueue) push(v VID, dist float32) {
+	q.vids = append(q.vids, v)
+	q.dists = append(q.dists, dist)
+	i := len(q.vids) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q.dists[parent] <= q.dists[i] {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *candQueue) pop() (VID, float32) {
+	v, dist := q.vids[0], q.dists[0]
+	last := len(q.vids) - 1
+	q.vids[0], q.dists[0] = q.vids[last], q.dists[last]
+	q.vids, q.dists = q.vids[:last], q.dists[:last]
+	i, n := 0, last
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.dists[l] < q.dists[smallest] {
+			smallest = l
+		}
+		if r < n && q.dists[r] < q.dists[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q.swap(i, smallest)
+		i = smallest
+	}
+	return v, dist
+}
+
+func (q *candQueue) swap(i, j int) {
+	q.vids[i], q.vids[j] = q.vids[j], q.vids[i]
+	q.dists[i], q.dists[j] = q.dists[j], q.dists[i]
+}

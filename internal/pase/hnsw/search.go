@@ -1,0 +1,59 @@
+package hnsw
+
+import (
+	"errors"
+	"fmt"
+
+	"vecstudy/internal/pase"
+	"vecstudy/internal/pg/am"
+)
+
+// Search implements am.Index. params: efs (search queue length, default
+// 200). Neither PASE nor Faiss parallelizes a single HNSW query (paper
+// Sec VII-D), so no threads parameter exists here.
+func (ix *Index) Search(query []float32, k int, params map[string]string) ([]am.Result, error) {
+	if len(query) != int(ix.meta.Dim) {
+		return nil, fmt.Errorf("pase/hnsw: query dimension %d != %d", len(query), ix.meta.Dim)
+	}
+	if k <= 0 {
+		return nil, errors.New("pase/hnsw: k must be positive")
+	}
+	if !ix.meta.Entry.Valid() {
+		return nil, errors.New("pase/hnsw: empty index")
+	}
+	efs, err := pase.OptInt(params, "efs", 200)
+	if err != nil {
+		return nil, err
+	}
+	if efs < k {
+		efs = k
+	}
+
+	ep := ix.meta.Entry
+	epDist, err := ix.distTo(query, ep)
+	if err != nil {
+		return nil, err
+	}
+	for lev := ix.meta.MaxLevel; lev > 0; lev-- {
+		ep, epDist, err = ix.greedyClosest(query, ep, epDist, uint16(lev))
+		if err != nil {
+			return nil, err
+		}
+	}
+	cands, err := ix.searchLayer(query, ep, epDist, efs, 0)
+	if err != nil {
+		return nil, err
+	}
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]am.Result, len(cands))
+	for i, c := range cands {
+		tid, err := ix.tidOf(c.vid)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = am.Result{TID: tid, Dist: c.dist}
+	}
+	return out, nil
+}

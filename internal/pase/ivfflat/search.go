@@ -1,0 +1,245 @@
+package ivfflat
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"vecstudy/internal/minheap"
+	"vecstudy/internal/pase"
+	"vecstudy/internal/pg/am"
+	"vecstudy/internal/pg/heap"
+	"vecstudy/internal/vec"
+)
+
+// Search implements am.Index. params: nprobe (default 20), threads
+// (default 1). Serial search collects every candidate into a size-n heap
+// (RC#6); parallel search pushes into one lock-guarded global heap
+// (RC#3), both as the paper describes PASE doing.
+func (ix *Index) Search(query []float32, k int, params map[string]string) ([]am.Result, error) {
+	if len(query) != int(ix.meta.Dim) {
+		return nil, fmt.Errorf("pase/ivfflat: query dimension %d != %d", len(query), ix.meta.Dim)
+	}
+	if k <= 0 {
+		return nil, errors.New("pase/ivfflat: k must be positive")
+	}
+	nprobe, err := pase.OptInt(params, "nprobe", 20)
+	if err != nil {
+		return nil, err
+	}
+	threads, err := pase.OptInt(params, "threads", 1)
+	if err != nil {
+		return nil, err
+	}
+	if nprobe <= 0 {
+		nprobe = 1
+	}
+	if nprobe > int(ix.meta.NList) {
+		nprobe = int(ix.meta.NList)
+	}
+	probes := ix.selectProbes(query, nprobe)
+	if threads > 1 {
+		return ix.searchParallel(query, k, probes, threads)
+	}
+	// The RC#6 ablation: heap=k replaces PASE's size-n collector with the
+	// Faiss-style bounded heap, leaving everything else untouched.
+	if params["heap"] == "k" {
+		return ix.searchBoundedHeap(query, k, probes)
+	}
+	return ix.searchSerial(query, k, probes)
+}
+
+// searchBoundedHeap is searchSerial with the Faiss top-k strategy — used
+// only by the ablation_heap experiment to isolate RC#6.
+func (ix *Index) searchBoundedHeap(query []float32, k int, probes []int32) ([]am.Result, error) {
+	pr := ix.ctx.Prof
+	top := minheap.NewTopK(k)
+	tHeap := pr.Timer("min-heap")
+	err := ix.scanBuckets(query, probes, func(tid heap.TID, dist float32) {
+		ts := tHeap.Start()
+		top.Push(int64(packTID(tid)), dist)
+		tHeap.Stop(ts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return itemsToResults(top.Results()), nil
+}
+
+// selectProbes ranks all centroids by distance (scalar loops over the
+// centroid cache) and returns the nprobe nearest bucket IDs.
+func (ix *Index) selectProbes(query []float32, nprobe int) []int32 {
+	d := int(ix.meta.Dim)
+	heap := minheap.NewTopK(nprobe)
+	for c := 0; c < int(ix.meta.NList); c++ {
+		heap.Push(int64(c), vec.L2SqrRef(query, ix.centroidCache[c*d:(c+1)*d]))
+	}
+	items := heap.Results()
+	out := make([]int32, len(items))
+	for i, it := range items {
+		out[i] = int32(it.ID)
+	}
+	return out
+}
+
+// searchSerial walks each probed bucket's page chain through the buffer
+// pool, pushing every candidate into a size-n collector, then heapifies
+// and pops k (the PASE top-k strategy, RC#6).
+func (ix *Index) searchSerial(query []float32, k int, probes []int32) ([]am.Result, error) {
+	pr := ix.ctx.Prof
+	collector := minheap.NewCollector(1024)
+	tHeap := pr.Timer("min-heap")
+	err := ix.scanBuckets(query, probes, func(tid heap.TID, dist float32) {
+		ts := tHeap.Start()
+		collector.Push(int64(packTID(tid)), dist)
+		tHeap.Stop(ts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	ts := tHeap.Start()
+	items := collector.PopK(k)
+	tHeap.Stop(ts)
+	return itemsToResults(items), nil
+}
+
+// searchParallel distributes probed buckets over worker goroutines that
+// all push into a single mutex-guarded global heap — PASE's strategy in
+// Fig 18, which is why it fails to scale.
+func (ix *Index) searchParallel(query []float32, k int, probes []int32, threads int) ([]am.Result, error) {
+	if threads > len(probes) {
+		threads = len(probes)
+	}
+	global := minheap.NewSharedTopK(k)
+	var cursor int
+	var curMu sync.Mutex
+	nextProbe := func() (int32, bool) {
+		curMu.Lock()
+		defer curMu.Unlock()
+		if cursor >= len(probes) {
+			return 0, false
+		}
+		p := probes[cursor]
+		cursor++
+		return p, true
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, threads)
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				probe, ok := nextProbe()
+				if !ok {
+					return
+				}
+				err := ix.scanBuckets(query, []int32{probe}, func(tid heap.TID, dist float32) {
+					global.Push(int64(packTID(tid)), dist)
+				})
+				if err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+	return itemsToResults(global.Results()), nil
+}
+
+// scanBuckets visits every entry of the given buckets, invoking emit with
+// the entry's TID and its distance to the query. All page access goes
+// through the buffer pool; the breakdown timers attribute time exactly as
+// Table V does (fvec_L2sqr vs tuple access).
+func (ix *Index) scanBuckets(query []float32, probes []int32, emit func(heap.TID, float32)) error {
+	ctx := ix.ctx
+	pr := ctx.Prof
+	d := int(ix.meta.Dim)
+	tTuple := pr.Timer("tuple_access")
+	tDist := pr.Timer("fvec_L2sqr")
+	for _, cid := range probes {
+		blk, off := ix.centroidLoc(int(cid))
+		ts := tTuple.Start()
+		cbuf, err := ctx.Pool.Pin(ctx.Rel, blk)
+		if err != nil {
+			tTuple.Stop(ts)
+			return err
+		}
+		centry, err := cbuf.Page().Item(off)
+		tTuple.Stop(ts)
+		if err != nil {
+			cbuf.Release()
+			return err
+		}
+		next := binary.LittleEndian.Uint32(centry[d*4:])
+		cbuf.Release()
+
+		for next != pase.InvalidBlk {
+			ts := tTuple.Start()
+			dbuf, err := ctx.Pool.Pin(ctx.Rel, next)
+			tTuple.Stop(ts)
+			if err != nil {
+				return err
+			}
+			pg := dbuf.Page()
+			n := pg.NumItems()
+			for i := uint16(1); i <= n; i++ {
+				ts := tTuple.Start()
+				item, err := pg.Item(i)
+				if err != nil {
+					tTuple.Stop(ts)
+					dbuf.Release()
+					return err
+				}
+				tid := heap.UnpackTID(item)
+				v := pase.Float32View(item[dataEntryHeaderSize:])
+				tTuple.Stop(ts)
+				ts = tDist.Start()
+				dist := vec.L2SqrRef(query, v)
+				tDist.Stop(ts)
+				emit(tid, dist)
+			}
+			next = pase.NextBlk(pg)
+			dbuf.Release()
+		}
+	}
+	return nil
+}
+
+// ScanProbes selects the nprobe buckets nearest to query and streams
+// every (tid, distance) candidate to emit. It exposes the bucket-scan
+// machinery to sibling access methods (the pgvector-style baseline builds
+// the same structure but ranks candidates differently).
+func (ix *Index) ScanProbes(query []float32, nprobe int, emit func(heap.TID, float32)) error {
+	if nprobe <= 0 {
+		nprobe = 1
+	}
+	if nprobe > int(ix.meta.NList) {
+		nprobe = int(ix.meta.NList)
+	}
+	return ix.scanBuckets(query, ix.selectProbes(query, nprobe), emit)
+}
+
+// packTID squeezes a TID into an int64 for the heap item ID.
+func packTID(tid heap.TID) int64 {
+	return int64(tid.Blk)<<16 | int64(tid.Off)
+}
+
+func unpackTID(v int64) heap.TID {
+	return heap.TID{Blk: uint32(v >> 16), Off: uint16(v & 0xFFFF)}
+}
+
+func itemsToResults(items []minheap.Item) []am.Result {
+	out := make([]am.Result, len(items))
+	for i, it := range items {
+		out[i] = am.Result{TID: unpackTID(it.ID), Dist: it.Dist}
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package pase
+
+import (
+	"testing"
+
+	"vecstudy/internal/pg/page"
+)
+
+func TestFloat32ViewAligned(t *testing.T) {
+	// A MAXALIGNed page item yields an aliasing view.
+	p := make(page.Page, 1024)
+	page.Init(p, 0)
+	buf := make([]byte, 16)
+	PutFloat32s(buf, []float32{1.5, -2.25, 3, 4})
+	off, err := p.AddItem(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	item, err := p.Item(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := Float32View(item)
+	if len(view) != 4 || view[0] != 1.5 || view[1] != -2.25 {
+		t.Fatalf("view = %v", view)
+	}
+	// Aliasing: mutating the view mutates the page.
+	view[2] = 42
+	again := Float32View(item)
+	if again[2] != 42 {
+		t.Error("aligned view did not alias page memory")
+	}
+}
+
+func TestFloat32ViewMisalignedFallsBack(t *testing.T) {
+	raw := make([]byte, 20)
+	PutFloat32s(raw[1:17], []float32{7, 8, 9, 10})
+	view := Float32View(raw[1:17]) // deliberately misaligned
+	if len(view) != 4 || view[0] != 7 || view[3] != 10 {
+		t.Fatalf("fallback view = %v", view)
+	}
+}
+
+func TestFloat32ViewEmpty(t *testing.T) {
+	if v := Float32View(nil); v != nil {
+		t.Errorf("nil input: %v", v)
+	}
+}
+
+func TestChainPointers(t *testing.T) {
+	p := make(page.Page, 1024)
+	page.Init(p, ChainSpecialSize)
+	SetNextBlk(p, 12345)
+	if NextBlk(p) != 12345 {
+		t.Errorf("NextBlk = %d", NextBlk(p))
+	}
+	SetNextBlk(p, InvalidBlk)
+	if NextBlk(p) != InvalidBlk {
+		t.Error("InvalidBlk round trip failed")
+	}
+}
+
+func TestOptParsers(t *testing.T) {
+	opts := map[string]string{"a": "7", "f": "0.25", "b": "true", "bad": "x"}
+	if v, err := OptInt(opts, "a", 1); err != nil || v != 7 {
+		t.Errorf("OptInt: %d, %v", v, err)
+	}
+	if v, err := OptInt(opts, "missing", 9); err != nil || v != 9 {
+		t.Errorf("OptInt default: %d, %v", v, err)
+	}
+	if _, err := OptInt(opts, "bad", 0); err == nil {
+		t.Error("OptInt accepted garbage")
+	}
+	if v, err := OptFloat(opts, "f", 1); err != nil || v != 0.25 {
+		t.Errorf("OptFloat: %v, %v", v, err)
+	}
+	if _, err := OptFloat(opts, "bad", 0); err == nil {
+		t.Error("OptFloat accepted garbage")
+	}
+	if v, err := OptBool(opts, "b", false); err != nil || !v {
+		t.Errorf("OptBool: %v, %v", v, err)
+	}
+	if v, err := OptBool(opts, "missing", true); err != nil || !v {
+		t.Errorf("OptBool default: %v, %v", v, err)
+	}
+	if _, err := OptBool(opts, "bad", false); err == nil {
+		t.Error("OptBool accepted garbage")
+	}
+	if v, err := OptInt(nil, "anything", 3); err != nil || v != 3 {
+		t.Errorf("nil opts: %d, %v", v, err)
+	}
+}

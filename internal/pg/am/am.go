@@ -1,0 +1,93 @@
+// Package am defines the index access-method contract of the generalized
+// engine, mirroring PostgreSQL's IndexAmRoutine: an index is built over a
+// heap table's vector column, lives in its own relation of slotted pages
+// reached through the shared buffer pool, and answers ordered scans by
+// returning heap TIDs with distances.
+//
+// PASE's three methods (ivfflat, ivfpq, hnsw) and the pgvector-style
+// baseline register themselves here; the SQL planner resolves `USING
+// <am>` clauses against this registry.
+package am
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"vecstudy/internal/pg/buffer"
+	"vecstudy/internal/pg/heap"
+	"vecstudy/internal/prof"
+)
+
+// Result is one index-scan hit: the heap tuple to fetch and its distance
+// to the query vector.
+type Result struct {
+	TID  heap.TID
+	Dist float32
+}
+
+// BuildContext carries everything an AM needs to build an index.
+type BuildContext struct {
+	Pool   *buffer.Pool // shared buffer pool
+	Rel    buffer.RelID // the index's own relation (already registered)
+	Table  *heap.Table  // the indexed heap table
+	VecCol int          // ordinal of the Float4Array column
+	Dim    int          // vector dimensionality (from the first tuple or DDL)
+	Opts   map[string]string
+	Prof   *prof.Profile // optional breakdown instrumentation
+}
+
+// Index is a built index ready for inserts and scans.
+type Index interface {
+	// AM returns the access-method name.
+	AM() string
+	// Insert adds one (vector, tid) entry.
+	Insert(v []float32, tid heap.TID) error
+	// Search returns the k nearest entries, ascending by distance.
+	// params carries scan-time knobs (nprobe, efs, threads).
+	Search(query []float32, k int, params map[string]string) ([]Result, error)
+	// SizeBytes reports the on-page footprint of the index relation.
+	SizeBytes() (int64, error)
+}
+
+// BuildFunc constructs an index over the table's current contents.
+type BuildFunc func(ctx *BuildContext) (Index, error)
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]BuildFunc)
+)
+
+// Register installs an access method under name. It panics on duplicate
+// registration (a programming error).
+func Register(name string, fn BuildFunc) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("am: duplicate access method %q", name))
+	}
+	registry[name] = fn
+}
+
+// Lookup resolves an access method by name.
+func Lookup(name string) (BuildFunc, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	fn, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("am: unknown access method %q", name)
+	}
+	return fn, nil
+}
+
+// Names returns the registered access-method names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

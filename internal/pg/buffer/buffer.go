@@ -1,0 +1,342 @@
+// Package buffer implements a PostgreSQL-style shared buffer pool: a
+// fixed set of page frames, a page table mapping (relation, block) tags
+// to frames, pin/unpin reference counting, and clock-sweep victim
+// selection with dirty write-back.
+//
+// Every tuple access in the generalized engine goes through Pool.Pin —
+// the page-table lookup, pin bookkeeping, and (on miss) block I/O are the
+// "Tuple Access" overhead the paper attributes to RC#2. The pool is shared
+// and mutex-protected like PostgreSQL's buffer mapping locks, which is
+// also what serializes PASE's intra-query parallelism in Fig 18.
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"vecstudy/internal/pg/page"
+	"vecstudy/internal/pg/storage"
+)
+
+// RelID identifies a relation registered with the pool (a table or an
+// index), like PostgreSQL's relfilenode.
+type RelID uint32
+
+// Tag addresses one block of one relation.
+type Tag struct {
+	Rel RelID
+	Blk uint32
+}
+
+// Errors returned by the pool.
+var (
+	ErrNoUnpinned    = errors.New("buffer: no unpinned buffers available")
+	ErrUnknownRel    = errors.New("buffer: relation not registered")
+	ErrNotPinned     = errors.New("buffer: releasing an unpinned buffer")
+	ErrPoolTooSmall  = errors.New("buffer: pool must have at least 4 frames")
+	ErrPageSizeMixed = errors.New("buffer: store page size differs from pool page size")
+)
+
+// Stats counts pool activity; the benchmark harness reports hit rates.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Writes    int64 // dirty write-backs
+}
+
+// WALFlusher is the hook the write-ahead log registers so the pool can
+// enforce WAL-before-data on dirty evictions.
+type WALFlusher interface {
+	// FlushTo durably writes all WAL up to and including lsn.
+	FlushTo(lsn uint64) error
+}
+
+type frame struct {
+	tag   Tag
+	data  []byte
+	pin   int32
+	usage uint8
+	dirty bool
+	valid bool
+}
+
+// Pool is a shared buffer pool.
+type Pool struct {
+	mu        sync.Mutex
+	pageSize  int
+	frames    []frame
+	table     map[Tag]int
+	stores    map[RelID]storage.PageStore
+	clockHand int
+	stats     Stats
+	wal       WALFlusher
+}
+
+// NewPool creates a pool of nframes pages of pageSize bytes each.
+func NewPool(pageSize, nframes int) (*Pool, error) {
+	if nframes < 4 {
+		return nil, ErrPoolTooSmall
+	}
+	if pageSize < page.MinSize || pageSize > page.MaxSize {
+		return nil, fmt.Errorf("buffer: invalid page size %d", pageSize)
+	}
+	p := &Pool{
+		pageSize: pageSize,
+		frames:   make([]frame, nframes),
+		table:    make(map[Tag]int, nframes),
+		stores:   make(map[RelID]storage.PageStore, 8),
+	}
+	for i := range p.frames {
+		p.frames[i].data = make([]byte, pageSize)
+	}
+	return p, nil
+}
+
+// PageSize returns the pool's page size.
+func (p *Pool) PageSize() int { return p.pageSize }
+
+// Register attaches a relation's page store to the pool.
+func (p *Pool) Register(rel RelID, store storage.PageStore) error {
+	if store.PageSize() != p.pageSize {
+		return ErrPageSizeMixed
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stores[rel] = store
+	return nil
+}
+
+// Deregister flushes and detaches a relation (e.g., on DROP).
+func (p *Pool) Deregister(rel RelID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.frames {
+		f := &p.frames[i]
+		if f.valid && f.tag.Rel == rel {
+			if f.pin > 0 {
+				return fmt.Errorf("buffer: deregistering %d with pinned buffers", rel)
+			}
+			if f.dirty {
+				if err := p.writeBackLocked(i); err != nil {
+					return err
+				}
+			}
+			delete(p.table, f.tag)
+			f.valid = false
+		}
+	}
+	delete(p.stores, rel)
+	return nil
+}
+
+// SetWAL installs the WAL-before-data hook.
+func (p *Pool) SetWAL(w WALFlusher) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.wal = w
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Buf is a pinned buffer. It must be Released exactly once; the page
+// slice is only valid while pinned.
+type Buf struct {
+	pool  *Pool
+	idx   int
+	tag   Tag
+	valid bool
+}
+
+// Page returns the pinned page contents.
+func (b *Buf) Page() page.Page {
+	if !b.valid {
+		panic("buffer: access after Release")
+	}
+	return page.Page(b.pool.frames[b.idx].data)
+}
+
+// Block returns the block number this buffer holds.
+func (b *Buf) Block() uint32 { return b.tag.Blk }
+
+// MarkDirty flags the page as modified so eviction writes it back.
+func (b *Buf) MarkDirty() {
+	if !b.valid {
+		panic("buffer: MarkDirty after Release")
+	}
+	b.pool.mu.Lock()
+	b.pool.frames[b.idx].dirty = true
+	b.pool.mu.Unlock()
+}
+
+// Release unpins the buffer.
+func (b *Buf) Release() {
+	if !b.valid {
+		panic("buffer: double Release")
+	}
+	b.valid = false
+	p := b.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f := &p.frames[b.idx]
+	if f.pin <= 0 {
+		panic(ErrNotPinned)
+	}
+	f.pin--
+}
+
+// Pin fetches (rel, blk) into the pool and returns a pinned buffer.
+func (p *Pool) Pin(rel RelID, blk uint32) (*Buf, error) {
+	tag := Tag{Rel: rel, Blk: blk}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if idx, ok := p.table[tag]; ok {
+		f := &p.frames[idx]
+		f.pin++
+		if f.usage < 5 {
+			f.usage++
+		}
+		p.stats.Hits++
+		return &Buf{pool: p, idx: idx, tag: tag, valid: true}, nil
+	}
+	p.stats.Misses++
+	store, ok := p.stores[rel]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownRel, rel)
+	}
+	idx, err := p.victimLocked()
+	if err != nil {
+		return nil, err
+	}
+	f := &p.frames[idx]
+	if err := store.ReadBlock(blk, f.data); err != nil {
+		return nil, fmt.Errorf("buffer: read %v: %w", tag, err)
+	}
+	f.tag = tag
+	f.pin = 1
+	f.usage = 1
+	f.dirty = false
+	f.valid = true
+	p.table[tag] = idx
+	return &Buf{pool: p, idx: idx, tag: tag, valid: true}, nil
+}
+
+// NewPage extends the relation by one block and returns it pinned and
+// zero-initialized (callers run page.Init).
+func (p *Pool) NewPage(rel RelID) (*Buf, uint32, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	store, ok := p.stores[rel]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %d", ErrUnknownRel, rel)
+	}
+	blk, err := store.Extend()
+	if err != nil {
+		return nil, 0, err
+	}
+	idx, err := p.victimLocked()
+	if err != nil {
+		return nil, 0, err
+	}
+	f := &p.frames[idx]
+	for i := range f.data {
+		f.data[i] = 0
+	}
+	tag := Tag{Rel: rel, Blk: blk}
+	f.tag = tag
+	f.pin = 1
+	f.usage = 1
+	f.dirty = true
+	f.valid = true
+	p.table[tag] = idx
+	return &Buf{pool: p, idx: idx, tag: tag, valid: true}, blk, nil
+}
+
+// victimLocked runs the clock sweep: decrement usage counts of unpinned
+// frames until one reaches zero, evicting (with write-back) as needed.
+func (p *Pool) victimLocked() (int, error) {
+	n := len(p.frames)
+	// An unused (invalid) frame is free; prefer those first.
+	for i := range p.frames {
+		if !p.frames[i].valid {
+			return i, nil
+		}
+	}
+	for spins := 0; spins < 2*n*6; spins++ {
+		idx := p.clockHand
+		p.clockHand = (p.clockHand + 1) % n
+		f := &p.frames[idx]
+		if f.pin > 0 {
+			continue
+		}
+		if f.usage > 0 {
+			f.usage--
+			continue
+		}
+		if f.dirty {
+			if err := p.writeBackLocked(idx); err != nil {
+				return 0, err
+			}
+			p.stats.Writes++
+		}
+		delete(p.table, f.tag)
+		f.valid = false
+		p.stats.Evictions++
+		return idx, nil
+	}
+	return 0, ErrNoUnpinned
+}
+
+// writeBackLocked flushes one dirty frame to its store, honouring
+// WAL-before-data when a WAL is attached.
+func (p *Pool) writeBackLocked(idx int) error {
+	f := &p.frames[idx]
+	store, ok := p.stores[f.tag.Rel]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownRel, f.tag.Rel)
+	}
+	if p.wal != nil {
+		if lsn := page.Page(f.data).LSN(); lsn > 0 {
+			if err := p.wal.FlushTo(lsn); err != nil {
+				return err
+			}
+		}
+	}
+	if err := store.WriteBlock(f.tag.Blk, f.data); err != nil {
+		return err
+	}
+	f.dirty = false
+	return nil
+}
+
+// FlushAll writes back every dirty page (checkpoint).
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.frames {
+		if p.frames[i].valid && p.frames[i].dirty {
+			if err := p.writeBackLocked(i); err != nil {
+				return err
+			}
+			p.stats.Writes++
+		}
+	}
+	return nil
+}
+
+// NumBlocks returns the block count of a registered relation.
+func (p *Pool) NumBlocks(rel RelID) (uint32, error) {
+	p.mu.Lock()
+	store, ok := p.stores[rel]
+	p.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownRel, rel)
+	}
+	return store.NumBlocks(), nil
+}

@@ -1,0 +1,350 @@
+// Package db assembles the PostgreSQL-style substrate into a usable
+// database engine: a shared buffer pool over per-relation page stores, a
+// catalog, heap tables, registered index access methods, and optional
+// write-ahead logging. The SQL layer (internal/pg/sql) executes against
+// this engine; the benchmark harness drives it directly.
+package db
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"vecstudy/internal/pg/am"
+	"vecstudy/internal/pg/buffer"
+	"vecstudy/internal/pg/catalog"
+	"vecstudy/internal/pg/heap"
+	"vecstudy/internal/pg/page"
+	"vecstudy/internal/pg/storage"
+	"vecstudy/internal/pg/wal"
+	"vecstudy/internal/prof"
+)
+
+// Config parameterizes Open.
+type Config struct {
+	// PageSize is the block size; 0 means page.DefaultSize (8 KiB).
+	// Table IV reruns the HNSW size experiment at 4096.
+	PageSize int
+	// BufferFrames sizes the shared buffer pool; 0 means 16384 frames
+	// (128 MiB at the default page size — everything memory-resident, as
+	// the paper's methodology requires).
+	BufferFrames int
+	// Dir is the database directory for file-backed storage; empty means
+	// fully in-memory page stores (the tmpfs configuration of Sec V-A2).
+	Dir string
+	// EnableWAL turns on write-ahead logging (file-backed only).
+	EnableWAL bool
+	// Prof attaches breakdown instrumentation to tables and indexes.
+	Prof *prof.Profile
+}
+
+// DB is an open database.
+type DB struct {
+	cfg  Config
+	pool *buffer.Pool
+	cat  *catalog.Catalog
+	wal  *wal.Log
+
+	mu      sync.Mutex
+	stores  map[buffer.RelID]storage.PageStore
+	tables  map[string]*heap.Table
+	indexes map[string]am.Index
+}
+
+// Open creates (or reopens, for file-backed dirs with a saved catalog) a
+// database.
+func Open(cfg Config) (*DB, error) {
+	if cfg.PageSize == 0 {
+		cfg.PageSize = page.DefaultSize
+	}
+	if cfg.BufferFrames == 0 {
+		cfg.BufferFrames = 16384
+	}
+	pool, err := buffer.NewPool(cfg.PageSize, cfg.BufferFrames)
+	if err != nil {
+		return nil, err
+	}
+	d := &DB{
+		cfg:     cfg,
+		pool:    pool,
+		cat:     catalog.New(),
+		stores:  make(map[buffer.RelID]storage.PageStore),
+		tables:  make(map[string]*heap.Table),
+		indexes: make(map[string]am.Index),
+	}
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, err
+		}
+		if cfg.EnableWAL {
+			w, err := wal.Open(filepath.Join(cfg.Dir, "wal.log"))
+			if err != nil {
+				return nil, err
+			}
+			d.wal = w
+			pool.SetWAL(w)
+		}
+		if cat, err := catalog.Load(filepath.Join(cfg.Dir, "catalog.gob")); err == nil {
+			d.cat = cat
+			if err := d.reattach(); err != nil {
+				return nil, err
+			}
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return nil, err
+		}
+	} else if cfg.EnableWAL {
+		return nil, errors.New("db: WAL requires a file-backed directory")
+	}
+	return d, nil
+}
+
+// reattach re-registers stored relations after reopening a directory.
+// Indexes are reopened lazily by rebuilding on first use (the paper's
+// workloads always rebuild; see Limitations in README).
+func (d *DB) reattach() error {
+	for _, tm := range d.cat.Tables() {
+		store, err := d.openStore(tm.Rel)
+		if err != nil {
+			return err
+		}
+		if err := d.pool.Register(tm.Rel, store); err != nil {
+			return err
+		}
+		tbl, err := heap.New(d.pool, tm.Rel, tm.Schema)
+		if err != nil {
+			return err
+		}
+		tbl.SetProf(d.cfg.Prof)
+		if d.wal != nil {
+			tbl.SetWAL(d.wal)
+		}
+		d.tables[tm.Name] = tbl
+	}
+	return nil
+}
+
+func (d *DB) openStore(rel buffer.RelID) (storage.PageStore, error) {
+	if d.cfg.Dir == "" {
+		return storage.NewMemStore(d.cfg.PageSize), nil
+	}
+	return storage.OpenFileStore(filepath.Join(d.cfg.Dir, fmt.Sprintf("rel_%d", rel)), d.cfg.PageSize)
+}
+
+// Pool exposes the shared buffer pool (benchmarks report its hit rates).
+func (d *DB) Pool() *buffer.Pool { return d.pool }
+
+// Catalog exposes the schema registry.
+func (d *DB) Catalog() *catalog.Catalog { return d.cat }
+
+// CreateTable creates an empty heap table.
+func (d *DB) CreateTable(name string, schema heap.Schema) (*heap.Table, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	rel := d.cat.AllocRel()
+	store, err := d.openStore(rel)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.pool.Register(rel, store); err != nil {
+		return nil, err
+	}
+	if _, err := d.cat.CreateTable(name, rel, schema); err != nil {
+		return nil, err
+	}
+	tbl, err := heap.New(d.pool, rel, schema)
+	if err != nil {
+		return nil, err
+	}
+	tbl.SetProf(d.cfg.Prof)
+	if d.wal != nil {
+		tbl.SetWAL(d.wal)
+	}
+	d.stores[rel] = store
+	d.tables[name] = tbl
+	return tbl, nil
+}
+
+// Table returns an open table by name.
+func (d *DB) Table(name string) (*heap.Table, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	tbl, ok := d.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("db: no such table %q", name)
+	}
+	return tbl, nil
+}
+
+// Insert adds one row to a table and maintains every index on it.
+func (d *DB) Insert(table string, values []any) (heap.TID, error) {
+	tbl, err := d.Table(table)
+	if err != nil {
+		return heap.TID{}, err
+	}
+	tid, err := tbl.Insert(values)
+	if err != nil {
+		return heap.TID{}, err
+	}
+	for _, im := range d.cat.IndexesOn(table) {
+		d.mu.Lock()
+		idx, ok := d.indexes[im.Name]
+		d.mu.Unlock()
+		if !ok {
+			continue
+		}
+		col := tbl.Schema().ColIndex(im.Column)
+		v, ok := values[col].([]float32)
+		if !ok {
+			return tid, fmt.Errorf("db: column %q is not a vector", im.Column)
+		}
+		if err := idx.Insert(v, tid); err != nil {
+			return tid, err
+		}
+	}
+	return tid, nil
+}
+
+// CreateIndex builds an index over an existing table column using the
+// named access method.
+func (d *DB) CreateIndex(name, table, column, amName string, opts map[string]string) (am.Index, error) {
+	build, err := am.Lookup(amName)
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := d.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	col := tbl.Schema().ColIndex(column)
+	if col < 0 {
+		return nil, fmt.Errorf("db: no column %q on %q", column, table)
+	}
+	dim, err := d.vectorDim(tbl, col)
+	if err != nil {
+		return nil, err
+	}
+
+	d.mu.Lock()
+	rel := d.cat.AllocRel()
+	store, err := d.openStore(rel)
+	if err != nil {
+		d.mu.Unlock()
+		return nil, err
+	}
+	if err := d.pool.Register(rel, store); err != nil {
+		d.mu.Unlock()
+		return nil, err
+	}
+	d.stores[rel] = store
+	d.mu.Unlock()
+
+	ctx := &am.BuildContext{
+		Pool: d.pool, Rel: rel, Table: tbl, VecCol: col, Dim: dim,
+		Opts: opts, Prof: d.cfg.Prof,
+	}
+	idx, err := build(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := d.cat.CreateIndex(name, rel, table, column, amName, opts); err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	d.indexes[name] = idx
+	d.mu.Unlock()
+	return idx, nil
+}
+
+// vectorDim infers the vector column's dimensionality from the first row.
+func (d *DB) vectorDim(tbl *heap.Table, col int) (int, error) {
+	dim := -1
+	err := tbl.Scan(func(tid heap.TID, tup []byte) (bool, error) {
+		v, err := tbl.Schema().VectorAt(tup, col)
+		if err != nil {
+			return false, err
+		}
+		dim = len(v)
+		return false, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if dim <= 0 {
+		return 0, errors.New("db: cannot infer vector dimension from an empty table")
+	}
+	return dim, nil
+}
+
+// Index returns a built index by name.
+func (d *DB) Index(name string) (am.Index, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	idx, ok := d.indexes[name]
+	if !ok {
+		return nil, fmt.Errorf("db: no such index %q", name)
+	}
+	return idx, nil
+}
+
+// IndexOn returns some built index on (table, column), or nil.
+func (d *DB) IndexOn(table, column string) am.Index {
+	for _, im := range d.cat.IndexesOn(table) {
+		if im.Column == column {
+			d.mu.Lock()
+			idx := d.indexes[im.Name]
+			d.mu.Unlock()
+			if idx != nil {
+				return idx
+			}
+		}
+	}
+	return nil
+}
+
+// Checkpoint flushes dirty pages (and the catalog, when file-backed).
+func (d *DB) Checkpoint() error {
+	if d.wal != nil {
+		if err := d.wal.Sync(); err != nil {
+			return err
+		}
+	}
+	if err := d.pool.FlushAll(); err != nil {
+		return err
+	}
+	if d.cfg.Dir != "" {
+		if err := d.cat.Save(filepath.Join(d.cfg.Dir, "catalog.gob")); err != nil {
+			return err
+		}
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		for _, s := range d.stores {
+			if err := s.Sync(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Close checkpoints and releases every store.
+func (d *DB) Close() error {
+	if err := d.Checkpoint(); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var firstErr error
+	for _, s := range d.stores {
+		if err := s.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if d.wal != nil {
+		if err := d.wal.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

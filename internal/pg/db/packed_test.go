@@ -1,0 +1,59 @@
+package db
+
+import (
+	"testing"
+
+	"vecstudy/internal/testutil"
+)
+
+// TestPackedHNSWLayout verifies the memory-optimized adjacency layout
+// (the paper's Sec IX-C "bridge the gap" direction for RC#4): same
+// search quality, several-times-smaller index.
+func TestPackedHNSWLayout(t *testing.T) {
+	ds := testutil.SmallDataset(t)
+
+	type built struct {
+		size   int64
+		recall float64
+	}
+	results := map[string]built{}
+	for _, variant := range []struct {
+		name   string
+		packed string
+	}{{"pase", "false"}, {"packed", "true"}} {
+		d := loadSmall(t, Config{})
+		idx, err := d.CreateIndex("h_idx", "t", "vec", "hnsw", map[string]string{
+			"bnn": "16", "efb": "40", "seed": "11", "packed": variant.packed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		size, err := idx.SizeBytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[variant.name] = built{
+			size:   size,
+			recall: recallOf(t, d, idx, 10, map[string]string{"efs": "200"}),
+		}
+	}
+
+	if results["packed"].recall < 0.85 {
+		t.Errorf("packed layout recall %.3f, want >= 0.85", results["packed"].recall)
+	}
+	// Identical seeds build identical graphs, so recalls must match.
+	if results["packed"].recall != results["pase"].recall {
+		t.Errorf("layout changed search results: packed %.3f vs pase %.3f",
+			results["packed"].recall, results["pase"].recall)
+	}
+	shrink := float64(results["pase"].size) / float64(results["packed"].size)
+	if shrink < 3 {
+		t.Errorf("packed layout only %.1f× smaller (pase %d vs packed %d); expected ≥ 3×",
+			shrink, results["pase"].size, results["packed"].size)
+	}
+	// The packed index should approach the raw payload size.
+	raw := int64(ds.N()) * int64(ds.Dim+40) * 4
+	if results["packed"].size > 3*raw {
+		t.Errorf("packed index %d bytes still far above payload scale %d", results["packed"].size, raw)
+	}
+}

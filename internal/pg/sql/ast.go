@@ -1,0 +1,81 @@
+package sql
+
+import "vecstudy/internal/pg/heap"
+
+// Stmt is any parsed statement.
+type Stmt interface{ stmt() }
+
+// CreateTableStmt is CREATE TABLE name (col type, ...).
+type CreateTableStmt struct {
+	Name   string
+	Schema heap.Schema
+}
+
+// InsertStmt is INSERT INTO name VALUES (...), (...).
+type InsertStmt struct {
+	Table string
+	Rows  [][]Literal
+}
+
+// Literal is a parsed value: a number, a string, or a vector literal
+// ('{0.1,0.2}' or '0.1,0.2').
+type Literal struct {
+	Num    float64
+	Str    string
+	Vec    []float32
+	IsNum  bool
+	IsStr  bool
+	IsVec  bool
+	IsNull bool
+}
+
+// CreateIndexStmt is CREATE INDEX name ON table USING am (col) WITH (...).
+type CreateIndexStmt struct {
+	Name    string
+	Table   string
+	AM      string
+	Column  string
+	Options map[string]string
+}
+
+// SelectStmt is SELECT cols FROM table [WHERE col = lit]
+// [ORDER BY col <-> 'vec' [ASC]] [LIMIT n].
+type SelectStmt struct {
+	Columns   []string // "*" allowed alone; "count(*)" as aggregate
+	CountStar bool
+	Table     string
+
+	WhereCol string // empty = no filter
+	WhereVal Literal
+
+	OrderCol string // empty = no vector ordering
+	QueryVec []float32
+
+	Limit    int // -1 = none
+	HasLimit bool
+}
+
+// SetStmt is SET name = value (session scan parameters: nprobe, efs,
+// threads, ...).
+type SetStmt struct {
+	Name  string
+	Value string
+}
+
+// ExplainStmt wraps another statement.
+type ExplainStmt struct {
+	Inner Stmt
+}
+
+// ShowStmt is SHOW name.
+type ShowStmt struct {
+	Name string
+}
+
+func (*CreateTableStmt) stmt() {}
+func (*InsertStmt) stmt()      {}
+func (*CreateIndexStmt) stmt() {}
+func (*SelectStmt) stmt()      {}
+func (*SetStmt) stmt()         {}
+func (*ExplainStmt) stmt()     {}
+func (*ShowStmt) stmt()        {}

@@ -1,0 +1,364 @@
+package sql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vecstudy/internal/minheap"
+	"vecstudy/internal/pg/db"
+	"vecstudy/internal/pg/heap"
+	"vecstudy/internal/vec"
+)
+
+// Session executes statements against a database and carries session
+// settings (scan parameters like nprobe, efs, threads — PASE exposes the
+// same knobs through GUCs).
+type Session struct {
+	db       *db.DB
+	settings map[string]string
+}
+
+// NewSession opens a session on d.
+func NewSession(d *db.DB) *Session {
+	return &Session{db: d, settings: map[string]string{}}
+}
+
+// Set overrides one session setting programmatically.
+func (s *Session) Set(name, value string) { s.settings[name] = value }
+
+// Result is the outcome of one statement.
+type Result struct {
+	Cols []string
+	Rows [][]any
+	Msg  string // DDL/utility acknowledgment
+}
+
+// Execute parses and runs one statement.
+func (s *Session) Execute(text string) (*Result, error) {
+	stmt, err := Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return s.run(stmt)
+}
+
+func (s *Session) run(stmt Stmt) (*Result, error) {
+	switch st := stmt.(type) {
+	case *CreateTableStmt:
+		if _, err := s.db.CreateTable(st.Name, st.Schema); err != nil {
+			return nil, err
+		}
+		return &Result{Msg: "CREATE TABLE"}, nil
+	case *InsertStmt:
+		return s.runInsert(st)
+	case *CreateIndexStmt:
+		if _, err := s.db.CreateIndex(st.Name, st.Table, st.Column, st.AM, st.Options); err != nil {
+			return nil, err
+		}
+		return &Result{Msg: "CREATE INDEX"}, nil
+	case *SetStmt:
+		s.settings[st.Name] = st.Value
+		return &Result{Msg: "SET"}, nil
+	case *ShowStmt:
+		return &Result{Cols: []string{st.Name}, Rows: [][]any{{s.settings[st.Name]}}}, nil
+	case *SelectStmt:
+		return s.runSelect(st)
+	case *ExplainStmt:
+		return s.runExplain(st)
+	}
+	return nil, fmt.Errorf("sql: unsupported statement %T", stmt)
+}
+
+func (s *Session) runInsert(st *InsertStmt) (*Result, error) {
+	tbl, err := s.db.Table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := tbl.Schema()
+	for _, row := range st.Rows {
+		if len(row) != len(schema.Cols) {
+			return nil, fmt.Errorf("sql: INSERT has %d values, table %q has %d columns", len(row), st.Table, len(schema.Cols))
+		}
+		values := make([]any, len(row))
+		for i, lit := range row {
+			v, err := litToValue(lit, schema.Cols[i])
+			if err != nil {
+				return nil, err
+			}
+			values[i] = v
+		}
+		if _, err := s.db.Insert(st.Table, values); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Msg: fmt.Sprintf("INSERT 0 %d", len(st.Rows))}, nil
+}
+
+// litToValue coerces a parsed literal to the column's Go type.
+func litToValue(lit Literal, col heap.Column) (any, error) {
+	switch col.Type {
+	case heap.Int4:
+		if !lit.IsNum {
+			return nil, fmt.Errorf("sql: column %q expects an integer", col.Name)
+		}
+		return int32(lit.Num), nil
+	case heap.Int8:
+		if !lit.IsNum {
+			return nil, fmt.Errorf("sql: column %q expects a bigint", col.Name)
+		}
+		return int64(lit.Num), nil
+	case heap.Float4:
+		if !lit.IsNum {
+			return nil, fmt.Errorf("sql: column %q expects a real", col.Name)
+		}
+		return float32(lit.Num), nil
+	case heap.Text:
+		if !lit.IsStr {
+			return nil, fmt.Errorf("sql: column %q expects a string", col.Name)
+		}
+		return lit.Str, nil
+	case heap.Float4Array:
+		if !lit.IsVec {
+			return nil, fmt.Errorf("sql: column %q expects a vector literal like '{0.1,0.2}'", col.Name)
+		}
+		return lit.Vec, nil
+	}
+	return nil, fmt.Errorf("sql: unsupported column type %v", col.Type)
+}
+
+// DistanceColumn is the pseudo-column that exposes the ORDER BY distance
+// in the target list of a vector search.
+const DistanceColumn = "distance"
+
+func (s *Session) runSelect(st *SelectStmt) (*Result, error) {
+	tbl, err := s.db.Table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := tbl.Schema()
+	outCols, err := resolveColumns(st, schema)
+	if err != nil {
+		return nil, err
+	}
+
+	if st.OrderCol != "" {
+		return s.runVectorSearch(st, tbl, outCols)
+	}
+
+	// Plain (optionally filtered) sequential scan.
+	var filterCol = -1
+	if st.WhereCol != "" {
+		filterCol = schema.ColIndex(st.WhereCol)
+		if filterCol < 0 {
+			return nil, fmt.Errorf("sql: no column %q", st.WhereCol)
+		}
+	}
+	res := &Result{Cols: colNames(outCols, schema, st)}
+	count := 0
+	err = tbl.Scan(func(tid heap.TID, tup []byte) (bool, error) {
+		vals, err := schema.Decode(tup)
+		if err != nil {
+			return false, err
+		}
+		if filterCol >= 0 && !litEquals(st.WhereVal, vals[filterCol]) {
+			return true, nil
+		}
+		count++
+		if !st.CountStar {
+			res.Rows = append(res.Rows, project(vals, outCols, 0))
+		}
+		if st.HasLimit && !st.CountStar && len(res.Rows) >= st.Limit {
+			return false, nil
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if st.CountStar {
+		res.Rows = [][]any{{int64(count)}}
+	}
+	return res, nil
+}
+
+// runVectorSearch executes ORDER BY vec <-> '...' [LIMIT k], preferring
+// an index scan and falling back to an exact scan-and-sort.
+func (s *Session) runVectorSearch(st *SelectStmt, tbl *heap.Table, outCols []int) (*Result, error) {
+	schema := tbl.Schema()
+	vcol := schema.ColIndex(st.OrderCol)
+	if vcol < 0 || schema.Cols[vcol].Type != heap.Float4Array {
+		return nil, fmt.Errorf("sql: ORDER BY column %q is not a vector column", st.OrderCol)
+	}
+	k := st.Limit
+	if !st.HasLimit {
+		k = int(tbl.NTuples())
+	}
+	res := &Result{Cols: colNames(outCols, schema, st)}
+	if k == 0 {
+		return res, nil
+	}
+
+	idx := s.db.IndexOn(st.Table, st.OrderCol)
+	if idx != nil {
+		hits, err := idx.Search(st.QueryVec, k, s.settings)
+		if err != nil {
+			return nil, err
+		}
+		for _, h := range hits {
+			row, err := s.fetchRow(tbl, h.TID, outCols, h.Dist)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, row)
+		}
+		return res, nil
+	}
+
+	// Exact fallback: brute-force scan with a bounded heap.
+	top := minheap.NewTopK(k)
+	var tids []heap.TID
+	err := tbl.Scan(func(tid heap.TID, tup []byte) (bool, error) {
+		v, err := schema.VectorAt(tup, vcol)
+		if err != nil {
+			return false, err
+		}
+		if len(v) != len(st.QueryVec) {
+			return false, fmt.Errorf("sql: query vector has %d dims, column %q has %d", len(st.QueryVec), st.OrderCol, len(v))
+		}
+		top.Push(int64(len(tids)), vec.L2Sqr(st.QueryVec, v))
+		tids = append(tids, tid)
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, it := range top.Results() {
+		row, err := s.fetchRow(tbl, tids[it.ID], outCols, it.Dist)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// fetchRow resolves a TID to projected output values.
+func (s *Session) fetchRow(tbl *heap.Table, tid heap.TID, outCols []int, dist float32) ([]any, error) {
+	var row []any
+	err := tbl.Get(tid, func(tup []byte) error {
+		vals, err := tbl.Schema().Decode(tup)
+		if err != nil {
+			return err
+		}
+		row = project(vals, outCols, dist)
+		return nil
+	})
+	return row, err
+}
+
+// resolveColumns maps the target list to column ordinals; -1 encodes the
+// distance pseudo-column.
+func resolveColumns(st *SelectStmt, schema heap.Schema) ([]int, error) {
+	if st.CountStar {
+		return nil, nil
+	}
+	var out []int
+	for _, name := range st.Columns {
+		if name == "*" {
+			for i := range schema.Cols {
+				out = append(out, i)
+			}
+			continue
+		}
+		if name == DistanceColumn && st.OrderCol != "" {
+			out = append(out, -1)
+			continue
+		}
+		i := schema.ColIndex(name)
+		if i < 0 {
+			return nil, fmt.Errorf("sql: no column %q", name)
+		}
+		out = append(out, i)
+	}
+	return out, nil
+}
+
+func colNames(outCols []int, schema heap.Schema, st *SelectStmt) []string {
+	if st.CountStar {
+		return []string{"count"}
+	}
+	names := make([]string, len(outCols))
+	for i, c := range outCols {
+		if c == -1 {
+			names[i] = DistanceColumn
+		} else {
+			names[i] = schema.Cols[c].Name
+		}
+	}
+	return names
+}
+
+func project(vals []any, outCols []int, dist float32) []any {
+	row := make([]any, len(outCols))
+	for i, c := range outCols {
+		if c == -1 {
+			row[i] = dist
+		} else {
+			row[i] = vals[c]
+		}
+	}
+	return row
+}
+
+func litEquals(lit Literal, v any) bool {
+	switch val := v.(type) {
+	case int32:
+		return lit.IsNum && int32(lit.Num) == val
+	case int64:
+		return lit.IsNum && int64(lit.Num) == val
+	case float32:
+		return lit.IsNum && float32(lit.Num) == val
+	case string:
+		return lit.IsStr && lit.Str == val
+	}
+	return false
+}
+
+// runExplain renders the plan the inner statement would use.
+func (s *Session) runExplain(st *ExplainStmt) (*Result, error) {
+	sel, ok := st.Inner.(*SelectStmt)
+	if !ok {
+		return &Result{Cols: []string{"QUERY PLAN"}, Rows: [][]any{{"Utility Statement"}}}, nil
+	}
+	var lines []string
+	if sel.OrderCol != "" {
+		if idx := s.db.IndexOn(sel.Table, sel.OrderCol); idx != nil {
+			params := make([]string, 0, len(s.settings))
+			for k, v := range s.settings {
+				params = append(params, k+"="+v)
+			}
+			sort.Strings(params)
+			lines = append(lines,
+				fmt.Sprintf("Limit (k=%d)", sel.Limit),
+				fmt.Sprintf("  -> Index Scan using %s on %s (%s)", idx.AM(), sel.Table, strings.Join(params, " ")),
+			)
+		} else {
+			lines = append(lines,
+				fmt.Sprintf("Limit (k=%d)", sel.Limit),
+				"  -> Sort by vector distance",
+				fmt.Sprintf("    -> Seq Scan on %s", sel.Table),
+			)
+		}
+	} else {
+		lines = append(lines, fmt.Sprintf("Seq Scan on %s", sel.Table))
+		if sel.WhereCol != "" {
+			lines = append(lines, fmt.Sprintf("  Filter: %s = ...", sel.WhereCol))
+		}
+	}
+	res := &Result{Cols: []string{"QUERY PLAN"}}
+	for _, l := range lines {
+		res.Rows = append(res.Rows, []any{l})
+	}
+	return res, nil
+}

@@ -1,0 +1,406 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"vecstudy/internal/pg/heap"
+)
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses one statement (a trailing semicolon is allowed).
+func Parse(src string) (Stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tokPunct, ";")
+	if !p.at(tokEOF, "") {
+		return nil, p.errorf("unexpected trailing input %q", p.cur().text)
+	}
+	return stmt, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if p.at(kind, text) {
+		t := p.cur()
+		p.pos++
+		return t, nil
+	}
+	want := text
+	if want == "" {
+		want = fmt.Sprintf("token kind %d", kind)
+	}
+	return token{}, p.errorf("expected %q, found %q", want, p.cur().text)
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sql: at offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	switch {
+	case p.accept(tokIdent, "create"):
+		if p.accept(tokIdent, "table") {
+			return p.parseCreateTable()
+		}
+		if p.accept(tokIdent, "index") {
+			return p.parseCreateIndex()
+		}
+		return nil, p.errorf("expected TABLE or INDEX after CREATE")
+	case p.accept(tokIdent, "insert"):
+		return p.parseInsert()
+	case p.accept(tokIdent, "select"):
+		return p.parseSelect()
+	case p.accept(tokIdent, "set"):
+		return p.parseSet()
+	case p.accept(tokIdent, "show"):
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		return &ShowStmt{Name: name.text}, nil
+	case p.accept(tokIdent, "explain"):
+		inner, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &ExplainStmt{Inner: inner}, nil
+	}
+	return nil, p.errorf("unrecognized statement beginning with %q", p.cur().text)
+}
+
+var typeNames = map[string]heap.ColType{
+	"int":     heap.Int4,
+	"integer": heap.Int4,
+	"int4":    heap.Int4,
+	"bigint":  heap.Int8,
+	"int8":    heap.Int8,
+	"real":    heap.Float4,
+	"float4":  heap.Float4,
+	"text":    heap.Text,
+	"varchar": heap.Text,
+}
+
+func (p *parser) parseCreateTable() (Stmt, error) {
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	var schema heap.Schema
+	for {
+		col, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		typTok, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		var typ heap.ColType
+		if typTok.text == "float" && p.accept(tokPunct, "[") {
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			typ = heap.Float4Array
+		} else if t, ok := typeNames[typTok.text]; ok {
+			typ = t
+		} else {
+			return nil, p.errorf("unknown column type %q", typTok.text)
+		}
+		schema.Cols = append(schema.Cols, heap.Column{Name: col.text, Type: typ})
+		if p.accept(tokPunct, ",") {
+			continue
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		break
+	}
+	return &CreateTableStmt{Name: name.text, Schema: schema}, nil
+}
+
+func (p *parser) parseInsert() (Stmt, error) {
+	if _, err := p.expect(tokIdent, "into"); err != nil {
+		return nil, err
+	}
+	table, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokIdent, "values"); err != nil {
+		return nil, err
+	}
+	var rows [][]Literal
+	for {
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		var row []Literal
+		for {
+			lit, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, lit)
+			if p.accept(tokPunct, ",") {
+				continue
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			break
+		}
+		rows = append(rows, row)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	return &InsertStmt{Table: table.text, Rows: rows}, nil
+}
+
+// parseLiteral handles numbers, strings, vector strings, and NULL. A
+// trailing ::pase or ::vector cast is accepted and ignored.
+func (p *parser) parseLiteral() (Literal, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.pos++
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return Literal{}, p.errorf("bad number %q", t.text)
+		}
+		return Literal{Num: v, IsNum: true}, nil
+	case t.kind == tokString:
+		p.pos++
+		p.acceptCast()
+		if vec, ok := parseVectorLiteral(t.text); ok {
+			return Literal{Str: t.text, Vec: vec, IsStr: true, IsVec: true}, nil
+		}
+		return Literal{Str: t.text, IsStr: true}, nil
+	case t.kind == tokIdent && t.text == "null":
+		p.pos++
+		return Literal{IsNull: true}, nil
+	}
+	return Literal{}, p.errorf("expected literal, found %q", t.text)
+}
+
+func (p *parser) acceptCast() {
+	if p.accept(tokPunct, "::") {
+		p.accept(tokIdent, "") // cast target name, ignored
+	}
+}
+
+// parseVectorLiteral parses '{0.1,0.2}' or '0.1,0.2' forms.
+func parseVectorLiteral(s string) ([]float32, bool) {
+	trimmed := strings.TrimSpace(s)
+	trimmed = strings.TrimPrefix(trimmed, "{")
+	trimmed = strings.TrimSuffix(trimmed, "}")
+	trimmed = strings.TrimPrefix(trimmed, "[")
+	trimmed = strings.TrimSuffix(trimmed, "]")
+	if trimmed == "" {
+		return nil, false
+	}
+	parts := strings.Split(trimmed, ",")
+	out := make([]float32, len(parts))
+	for i, part := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 32)
+		if err != nil {
+			return nil, false
+		}
+		out[i] = float32(v)
+	}
+	return out, true
+}
+
+func (p *parser) parseCreateIndex() (Stmt, error) {
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokIdent, "on"); err != nil {
+		return nil, err
+	}
+	table, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokIdent, "using"); err != nil {
+		return nil, err
+	}
+	amName, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	col, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	opts := map[string]string{}
+	if p.accept(tokIdent, "with") {
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		for {
+			key, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "="); err != nil {
+				return nil, err
+			}
+			val := p.cur()
+			if val.kind != tokNumber && val.kind != tokString && val.kind != tokIdent {
+				return nil, p.errorf("bad option value %q", val.text)
+			}
+			p.pos++
+			opts[key.text] = val.text
+			if p.accept(tokPunct, ",") {
+				continue
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
+	return &CreateIndexStmt{Name: name.text, Table: table.text, AM: amName.text, Column: col.text, Options: opts}, nil
+}
+
+func (p *parser) parseSelect() (Stmt, error) {
+	sel := &SelectStmt{Limit: -1}
+	// target list
+	if p.accept(tokIdent, "count") {
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "*"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		sel.CountStar = true
+	} else if p.accept(tokPunct, "*") {
+		sel.Columns = []string{"*"}
+	} else {
+		for {
+			col, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			sel.Columns = append(sel.Columns, col.text)
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tokIdent, "from"); err != nil {
+		return nil, err
+	}
+	table, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	sel.Table = table.text
+
+	if p.accept(tokIdent, "where") {
+		col, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		lit, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		sel.WhereCol, sel.WhereVal = col.text, lit
+	}
+
+	if p.accept(tokIdent, "order") {
+		if _, err := p.expect(tokIdent, "by"); err != nil {
+			return nil, err
+		}
+		col, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "<->"); err != nil {
+			return nil, err
+		}
+		lit, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		if !lit.IsVec {
+			return nil, p.errorf("ORDER BY %s <-> expects a vector literal", col.text)
+		}
+		sel.OrderCol, sel.QueryVec = col.text, lit.Vec
+		p.accept(tokIdent, "asc")
+	}
+
+	if p.accept(tokIdent, "limit") {
+		n, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		v, err := strconv.Atoi(n.text)
+		if err != nil || v < 0 {
+			return nil, p.errorf("bad LIMIT %q", n.text)
+		}
+		sel.Limit, sel.HasLimit = v, true
+	}
+	return sel, nil
+}
+
+func (p *parser) parseSet() (Stmt, error) {
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept(tokPunct, "=") {
+		p.accept(tokIdent, "to")
+	}
+	val := p.cur()
+	if val.kind != tokNumber && val.kind != tokString && val.kind != tokIdent {
+		return nil, p.errorf("bad SET value %q", val.text)
+	}
+	p.pos++
+	return &SetStmt{Name: name.text, Value: val.text}, nil
+}

@@ -1,0 +1,107 @@
+package storage
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func testStoreBehaviour(t *testing.T, s PageStore) {
+	t.Helper()
+	if s.NumBlocks() != 0 {
+		t.Fatalf("fresh store has %d blocks", s.NumBlocks())
+	}
+	blk0, err := s.Extend()
+	if err != nil || blk0 != 0 {
+		t.Fatalf("first Extend = %d, %v", blk0, err)
+	}
+	blk1, _ := s.Extend()
+	if blk1 != 1 || s.NumBlocks() != 2 {
+		t.Fatalf("second Extend = %d, NumBlocks = %d", blk1, s.NumBlocks())
+	}
+
+	data := bytes.Repeat([]byte{0x5A}, s.PageSize())
+	if err := s.WriteBlock(1, data); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, s.PageSize())
+	if err := s.ReadBlock(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("read back different data")
+	}
+	// Fresh block 0 must read as zeroes.
+	if err := s.ReadBlock(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("fresh block not zeroed")
+		}
+	}
+	// Out of range.
+	if err := s.ReadBlock(5, buf); err == nil {
+		t.Error("out-of-range read succeeded")
+	}
+	if err := s.WriteBlock(5, data); err == nil {
+		t.Error("out-of-range write succeeded")
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemStore(t *testing.T) {
+	s := NewMemStore(512)
+	testStoreBehaviour(t, s)
+	if s.SizeBytes() != 2*512 {
+		t.Errorf("SizeBytes = %d", s.SizeBytes())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rel_1")
+	s, err := OpenFileStore(path, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testStoreBehaviour(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: block count and contents must survive.
+	s2, err := OpenFileStore(path, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.NumBlocks() != 2 {
+		t.Fatalf("reopened NumBlocks = %d", s2.NumBlocks())
+	}
+	buf := make([]byte, 512)
+	if err := s2.ReadBlock(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0x5A {
+		t.Error("contents lost across reopen")
+	}
+}
+
+func TestFileStoreRejectsTornFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rel_bad")
+	s, err := OpenFileStore(path, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Extend()
+	s.Close()
+	// Reopen with a different page size that does not divide the length.
+	if _, err := OpenFileStore(path, 768); err == nil {
+		t.Error("accepted file with misaligned length")
+	}
+}

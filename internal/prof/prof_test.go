@@ -1,0 +1,152 @@
+package prof
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilProfileIsDisabled(t *testing.T) {
+	var p *Profile
+	tm := p.Timer("anything")
+	if tm != nil {
+		t.Fatal("nil profile handed out a live timer")
+	}
+	// All of these must be safe no-ops.
+	start := tm.Start()
+	if !start.IsZero() {
+		t.Error("disabled timer returned a real start time")
+	}
+	tm.Stop(start)
+	tm.Add(time.Second)
+	if tm.Total() != 0 || tm.Count() != 0 {
+		t.Error("disabled timer accumulated")
+	}
+	p.Count("x", 1)
+	if p.Counter("x") != 0 {
+		t.Error("nil profile counted")
+	}
+	p.Reset()
+	if p.Report(time.Second) != nil {
+		t.Error("nil profile reported entries")
+	}
+}
+
+func TestTimerAccumulates(t *testing.T) {
+	p := New()
+	tm := p.Timer("work")
+	for i := 0; i < 3; i++ {
+		start := tm.Start()
+		time.Sleep(2 * time.Millisecond)
+		tm.Stop(start)
+	}
+	if tm.Count() != 3 {
+		t.Errorf("Count = %d", tm.Count())
+	}
+	if tm.Total() < 5*time.Millisecond {
+		t.Errorf("Total = %v, want >= ~6ms", tm.Total())
+	}
+	// Same name returns the same timer.
+	if p.Timer("work") != tm {
+		t.Error("Timer not memoized")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	p := New()
+	p.Count("pins", 5)
+	p.Count("pins", 2)
+	if p.Counter("pins") != 7 {
+		t.Errorf("Counter = %d", p.Counter("pins"))
+	}
+	if p.Counter("absent") != 0 {
+		t.Error("absent counter nonzero")
+	}
+}
+
+func TestConcurrentObservations(t *testing.T) {
+	p := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				p.Timer("hot").Add(time.Microsecond)
+				p.Count("ops", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Timer("hot").Count() != 8000 {
+		t.Errorf("Count = %d", p.Timer("hot").Count())
+	}
+	if p.Counter("ops") != 8000 {
+		t.Errorf("ops = %d", p.Counter("ops"))
+	}
+}
+
+func TestReportSharesAndOthers(t *testing.T) {
+	p := New()
+	p.Timer("a").Add(60 * time.Millisecond)
+	p.Timer("b").Add(20 * time.Millisecond)
+	entries := p.Report(100 * time.Millisecond)
+	if len(entries) != 3 {
+		t.Fatalf("entries = %v", entries)
+	}
+	if entries[0].Name != "a" || entries[0].Percent != 60 {
+		t.Errorf("first entry = %+v", entries[0])
+	}
+	// Residual becomes "others".
+	var others *Entry
+	for i := range entries {
+		if entries[i].Name == "others" {
+			others = &entries[i]
+		}
+	}
+	if others == nil || others.Percent != 20 {
+		t.Errorf("others = %+v", others)
+	}
+}
+
+func TestReportNestedExclusion(t *testing.T) {
+	p := New()
+	p.Timer("phase").Add(80 * time.Millisecond)
+	p.Timer("inner").Add(50 * time.Millisecond) // runs inside "phase"
+	entries := p.Report(100*time.Millisecond, "inner")
+	var othersPct float64
+	for _, e := range entries {
+		if e.Name == "others" {
+			othersPct = e.Percent
+		}
+	}
+	// Residual must be 100−80=20, not 100−130 — inner is nested.
+	if othersPct != 20 {
+		t.Errorf("others = %v%%, want 20%%", othersPct)
+	}
+}
+
+func TestResetKeepsHandles(t *testing.T) {
+	p := New()
+	tm := p.Timer("x")
+	tm.Add(time.Second)
+	p.Count("c", 3)
+	p.Reset()
+	if tm.Total() != 0 || tm.Count() != 0 || p.Counter("c") != 0 {
+		t.Error("Reset did not zero")
+	}
+	tm.Add(time.Millisecond)
+	if p.Timer("x").Total() != time.Millisecond {
+		t.Error("handle dead after Reset")
+	}
+}
+
+func TestFormatReport(t *testing.T) {
+	p := New()
+	p.Timer("alpha").Add(time.Millisecond)
+	out := FormatReport(p.Report(time.Millisecond))
+	if !strings.Contains(out, "alpha") {
+		t.Errorf("FormatReport = %q", out)
+	}
+}

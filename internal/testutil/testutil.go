@@ -1,0 +1,66 @@
+// Package testutil provides the shared fixtures used by index tests in
+// both engines: a small deterministic clustered dataset with brute-force
+// ground truth, and recall helpers.
+package testutil
+
+import (
+	"sync"
+	"testing"
+
+	"vecstudy/internal/dataset"
+	"vecstudy/internal/minheap"
+)
+
+var (
+	once  sync.Once
+	small *dataset.Dataset
+)
+
+// SmallDataset returns a cached 2000×128 clustered dataset with top-20
+// ground truth for 20 queries. Tests must treat it as read-only.
+func SmallDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	once.Do(func() {
+		p, err := dataset.ProfileByName("sift1m")
+		if err != nil {
+			panic(err)
+		}
+		small = dataset.Generate(p, dataset.GenOptions{Scale: 0.002, Seed: 12345, MaxQueries: 20})
+		small.ComputeGroundTruth(20, 4)
+	})
+	return small
+}
+
+// IDs extracts the result IDs from search items.
+func IDs(items []minheap.Item) []int64 {
+	out := make([]int64, len(items))
+	for i, it := range items {
+		out[i] = it.ID
+	}
+	return out
+}
+
+// Recall runs search over every query of ds and returns recall@k.
+func Recall(t *testing.T, ds *dataset.Dataset, k int, search func(q []float32) []minheap.Item) float64 {
+	t.Helper()
+	results := make([][]int64, ds.NQ())
+	for q := 0; q < ds.NQ(); q++ {
+		results[q] = IDs(search(ds.Queries.Row(q)))
+	}
+	return ds.Recall(results, k)
+}
+
+// SameResults reports whether two result lists agree on distances rank by
+// rank (IDs may differ on ties).
+func SameResults(a, b []minheap.Item, tol float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		diff := a[i].Dist - b[i].Dist
+		if diff < -tol || diff > tol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,159 @@
+package vec
+
+import (
+	"runtime"
+	"sync"
+
+	"vecstudy/internal/blas"
+)
+
+// BatchDistancer computes all pairwise squared L2 distances between a set
+// of query rows and a set of base rows. The two implementations correspond
+// to the paper's RC#1:
+//
+//   - DistancesL2Naive: the PASE approach — one scalar distance loop per
+//     (query, base) pair.
+//   - DistancesL2Decomposed: the Faiss approach — decompose
+//     ‖x−c‖² = ‖x‖² + ‖c‖² − 2·x·c and compute all inner products at once
+//     with a blocked SGEMM, reusing precomputed norms.
+
+// DistancesL2Naive writes ‖x_i − y_j‖² into out[i*ny+j] for every pair,
+// using the reference scalar kernel. xs is nx×d, ys is ny×d, both
+// row-major. out must have length ≥ nx*ny.
+func DistancesL2Naive(xs []float32, nx int, ys []float32, ny, d int, out []float32) {
+	for i := 0; i < nx; i++ {
+		x := xs[i*d : (i+1)*d]
+		row := out[i*ny : (i+1)*ny]
+		for j := 0; j < ny; j++ {
+			row[j] = L2SqrRef(x, ys[j*d:(j+1)*d])
+		}
+	}
+}
+
+// DecomposedOpts controls DistancesL2Decomposed.
+type DecomposedOpts struct {
+	// Threads is the parallelism for the SGEMM call; ≤ 0 means all CPUs,
+	// 1 forces serial execution (the paper's single-thread default).
+	Threads int
+	// YNorms2, if non-nil, supplies precomputed squared norms of the ys
+	// rows, avoiding recomputation across batches (Faiss caches centroid
+	// norms at train time; RC#7 relies on the same trick for PQ tables).
+	YNorms2 []float32
+}
+
+// DistancesL2Decomposed writes ‖x_i − y_j‖² into out[i*ny+j] using the
+// norm decomposition plus blocked SGEMM. Results can differ from the naive
+// kernel by small floating-point error; callers that need exact agreement
+// (tests) should use a tolerance.
+func DistancesL2Decomposed(xs []float32, nx int, ys []float32, ny, d int, out []float32, opts DecomposedOpts) {
+	if nx == 0 || ny == 0 {
+		return
+	}
+	yn := opts.YNorms2
+	if yn == nil {
+		yn = Norms2(ys, ny, d, make([]float32, ny))
+	}
+	// out temporarily holds the inner products x_i·y_j.
+	threads := opts.Threads
+	if threads == 1 {
+		blas.GemmNT(xs, nx, d, ys, ny, out)
+	} else {
+		blas.GemmNTParallel(xs, nx, d, ys, ny, out, threads)
+	}
+	for i := 0; i < nx; i++ {
+		xn := Norm2(xs[i*d : (i+1)*d])
+		row := out[i*ny : (i+1)*ny]
+		for j := 0; j < ny; j++ {
+			dist := xn + yn[j] - 2*row[j]
+			if dist < 0 { // clamp FP cancellation noise
+				dist = 0
+			}
+			row[j] = dist
+		}
+	}
+}
+
+// AssignBatch maps each of the nx rows of xs to the index of its nearest
+// row in ys (the centroids), writing assignments and the corresponding
+// squared distances. If useGemm is true the decomposed SGEMM path is used
+// (Faiss/RC#1 on), otherwise the naive per-pair path (PASE/RC#1 off).
+// threads parallelizes across x rows; ≤ 1 is serial.
+func AssignBatch(xs []float32, nx int, ys []float32, ny, d int, assign []int32, dists []float32, useGemm bool, threads int) {
+	if nx == 0 {
+		return
+	}
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	if !useGemm {
+		parallelRows(nx, threads, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				x := xs[i*d : (i+1)*d]
+				best, bestD := int32(0), L2SqrRef(x, ys[:d])
+				for j := 1; j < ny; j++ {
+					dd := L2SqrRef(x, ys[j*d:(j+1)*d])
+					if dd < bestD {
+						best, bestD = int32(j), dd
+					}
+				}
+				assign[i] = best
+				if dists != nil {
+					dists[i] = bestD
+				}
+			}
+		})
+		return
+	}
+	yn := Norms2(ys, ny, d, make([]float32, ny))
+	// Process x in batches so the distance matrix stays cache/memory
+	// friendly even for large n.
+	const batch = 1024
+	parallelRows(nx, threads, func(lo, hi int) {
+		buf := make([]float32, batch*ny)
+		for b := lo; b < hi; b += batch {
+			bn := min(batch, hi-b)
+			DistancesL2Decomposed(xs[b*d:(b+bn)*d], bn, ys, ny, d, buf, DecomposedOpts{Threads: 1, YNorms2: yn})
+			for i := 0; i < bn; i++ {
+				j, v := Argmin(buf[i*ny : (i+1)*ny])
+				assign[b+i] = int32(j)
+				if dists != nil {
+					dists[b+i] = v
+				}
+			}
+		}
+	})
+}
+
+// parallelRows splits [0, n) into contiguous chunks across up to threads
+// goroutines and invokes fn on each chunk.
+func parallelRows(n, threads int, fn func(lo, hi int)) {
+	if threads <= 1 || n < 2 {
+		fn(0, n)
+		return
+	}
+	if threads > n {
+		threads = n
+	}
+	per := (n + threads - 1) / threads
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		lo := t * per
+		if lo >= n {
+			break
+		}
+		hi := min(lo+per, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,148 @@
+// Package vecstudy is the public face of a from-scratch Go reproduction
+// of "Are There Fundamental Limitations in Supporting Vector Data
+// Management in Relational Databases? A Case Study of PostgreSQL"
+// (ICDE 2024).
+//
+// The library contains two complete vector-database engines built from
+// scratch plus the study harness that compares them:
+//
+//   - a specialized engine (Faiss-analog): in-memory IVF_FLAT, IVF_PQ,
+//     and HNSW over flat float32 arrays;
+//   - a generalized engine (PASE-analog): the same three indexes
+//     implemented as index access methods over a PostgreSQL-style
+//     substrate — slotted 8 KiB pages, shared buffer pool with clock
+//     sweep, heap tables with TIDs, WAL, catalog, and a mini SQL layer;
+//   - the root-cause toggles (RC#1–RC#7) and per-figure benchmark
+//     drivers that regenerate the paper's evaluation.
+//
+// Quick start (see examples/quickstart for the full program):
+//
+//	ds := vecstudy.GenerateDataset("sift1m", 0.02, 42)
+//	ds.ComputeGroundTruth(10, 0)
+//	p := vecstudy.Defaults(ds)
+//	cmp, err := vecstudy.CompareBoth(vecstudy.IVFFlat, ds, p)
+//	fmt.Println(cmp.SpecSearch, cmp.GenSearch)
+//
+// Or drive the generalized engine through SQL:
+//
+//	db, _ := vecstudy.OpenDB(vecstudy.DBConfig{})
+//	sess := vecstudy.NewSession(db)
+//	sess.Execute("CREATE TABLE t (id int, vec float[])")
+//	sess.Execute("CREATE INDEX i ON t USING ivfflat (vec) WITH (clusters=256)")
+//	sess.Execute("SELECT id FROM t ORDER BY vec <-> '{0.1,0.2}' LIMIT 10")
+package vecstudy
+
+import (
+	"vecstudy/internal/core"
+	"vecstudy/internal/dataset"
+	"vecstudy/internal/kmeans"
+	"vecstudy/internal/pg/db"
+	"vecstudy/internal/pg/sql"
+
+	_ "vecstudy/internal/pase/all" // register the generalized index AMs
+)
+
+// Re-exported comparison-framework types. See internal/core for the full
+// documentation of each.
+type (
+	// Params carries the paper's Table II parameters and the RC toggles.
+	Params = core.Params
+	// IndexKind selects IVF_FLAT, IVF_PQ, or HNSW.
+	IndexKind = core.IndexKind
+	// Engine identifies the specialized or generalized engine.
+	Engine = core.Engine
+	// BuildResult reports one index construction.
+	BuildResult = core.BuildResult
+	// SearchResult reports one query workload.
+	SearchResult = core.SearchResult
+	// Comparison pairs both engines' results for one experiment cell.
+	Comparison = core.Comparison
+	// Index is the engine-neutral searchable handle.
+	Index = core.Index
+	// Dataset is a generated or loaded workload.
+	Dataset = dataset.Dataset
+	// KMeansFlavor selects the RC#5 K-means implementation.
+	KMeansFlavor = kmeans.Flavor
+	// DBConfig configures the generalized engine's database.
+	DBConfig = db.Config
+	// DB is the generalized engine's database.
+	DB = db.DB
+	// Session executes SQL against a DB.
+	Session = sql.Session
+)
+
+// Index kinds (paper Sec II-B).
+const (
+	IVFFlat = core.IVFFlat
+	IVFPQ   = core.IVFPQ
+	HNSW    = core.HNSW
+)
+
+// Engines under study.
+const (
+	Specialized         = core.Specialized
+	Generalized         = core.Generalized
+	GeneralizedBaseline = core.GeneralizedBaseline
+)
+
+// K-means flavours (RC#5).
+const (
+	KMeansFaiss = kmeans.FlavorFaiss
+	KMeansPASE  = kmeans.FlavorPASE
+)
+
+// GenerateDataset synthesizes one of the paper's six workloads (sift1m,
+// gist1m, deep1m, sift10m, deep10m, turing10m) at the given scale
+// (1.0 = paper scale; 0.02 is the laptop default).
+func GenerateDataset(profile string, scale float64, seed int64) (*Dataset, error) {
+	p, err := dataset.ProfileByName(profile)
+	if err != nil {
+		return nil, err
+	}
+	return dataset.Generate(p, dataset.GenOptions{Scale: scale, Seed: seed}), nil
+}
+
+// LoadFvecs reads base and query fvecs files (the TEXMEX format the real
+// SIFT/GIST/Deep datasets ship in) into a Dataset.
+func LoadFvecs(name, basePath, queryPath string, maxBase, maxQueries int) (*Dataset, error) {
+	base, err := dataset.ReadFvecs(basePath, maxBase)
+	if err != nil {
+		return nil, err
+	}
+	queries, err := dataset.ReadFvecs(queryPath, maxQueries)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{Name: name, Dim: base.D, Base: base, Queries: queries}, nil
+}
+
+// Defaults resolves the paper's default parameters for a dataset.
+func Defaults(ds *Dataset) Params { return core.Defaults(ds) }
+
+// BuildSpecialized builds a Faiss-style in-memory index.
+func BuildSpecialized(kind IndexKind, ds *Dataset, p Params) (*core.SpecializedIndex, BuildResult, error) {
+	return core.BuildSpecialized(kind, ds, p)
+}
+
+// BuildGeneralized loads the dataset into a PostgreSQL-style database and
+// builds a PASE-style index on it.
+func BuildGeneralized(kind IndexKind, ds *Dataset, p Params) (*core.GeneralizedIndex, BuildResult, error) {
+	return core.BuildGeneralized(kind, ds, p)
+}
+
+// CompareBoth runs the full build+search comparison for one index kind.
+func CompareBoth(kind IndexKind, ds *Dataset, p Params) (Comparison, error) {
+	return core.CompareBoth(kind, ds, p)
+}
+
+// RunSearch runs every dataset query through an index.
+func RunSearch(ix Index, ds *Dataset, k int) (SearchResult, error) {
+	return core.RunSearch(ix, ds, k)
+}
+
+// OpenDB opens a generalized-engine database (in-memory when cfg.Dir is
+// empty).
+func OpenDB(cfg DBConfig) (*DB, error) { return db.Open(cfg) }
+
+// NewSession opens a SQL session on a database.
+func NewSession(d *DB) *Session { return sql.NewSession(d) }

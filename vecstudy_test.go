@@ -1,0 +1,78 @@
+package vecstudy
+
+import (
+	"path/filepath"
+	"testing"
+
+	"vecstudy/internal/dataset"
+)
+
+func TestPublicAPIQuickstartFlow(t *testing.T) {
+	ds, err := GenerateDataset("sift1m", 0.002, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.ComputeGroundTruth(10, 0)
+	p := Defaults(ds)
+	p.K = 10
+	cmp, err := CompareBoth(IVFFlat, ds, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.SpecSearch.Recall < 0.7 || cmp.GenSearch.Recall < 0.7 {
+		t.Errorf("recalls: %.3f / %.3f", cmp.SpecSearch.Recall, cmp.GenSearch.Recall)
+	}
+}
+
+func TestPublicAPIUnknownProfile(t *testing.T) {
+	if _, err := GenerateDataset("bogus", 1, 1); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestPublicSQLFlow(t *testing.T) {
+	db, err := OpenDB(DBConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	sess := NewSession(db)
+	for _, q := range []string{
+		"CREATE TABLE t (id int, vec float[])",
+		"INSERT INTO t VALUES (1, '{1,0}'), (2, '{0,1}'), (3, '{5,5}')",
+	} {
+		if _, err := sess.Execute(q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	res, err := sess.Execute("SELECT id FROM t ORDER BY vec <-> '{4.9,4.9}' LIMIT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(int32) != 3 {
+		t.Errorf("nearest = %v", res.Rows[0][0])
+	}
+}
+
+func TestLoadFvecsRoundTrip(t *testing.T) {
+	ds, err := GenerateDataset("deep1m", 0.001, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.fvecs")
+	query := filepath.Join(dir, "query.fvecs")
+	if err := dataset.WriteFvecs(base, ds.Base); err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.WriteFvecs(query, ds.Queries); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFvecs("deep1m", base, query, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.N() != ds.N() || loaded.NQ() != 5 || loaded.Dim != ds.Dim {
+		t.Errorf("loaded shape %d×%d, %d queries", loaded.N(), loaded.Dim, loaded.NQ())
+	}
+}
