@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"vecstudy/internal/bench"
@@ -26,6 +27,7 @@ func main() {
 		scale    = flag.Float64("scale", 0.02, "dataset scale factor (1.0 = paper scale)")
 		datasets = flag.String("datasets", "", "comma-separated dataset subset (default: all six)")
 		queries  = flag.Int("queries", 100, "max queries per dataset")
+		clients  = flag.String("clients", "", "comma-separated client counts for -exp qps (default 1,2,4,8,16)")
 		seed     = flag.Int64("seed", 42, "workload seed")
 	)
 	flag.Parse()
@@ -43,6 +45,16 @@ func main() {
 	cfg := &bench.Config{Scale: *scale, Queries: *queries, Seed: *seed, Out: os.Stdout}
 	if *datasets != "" {
 		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+	if *clients != "" {
+		for _, c := range strings.Split(*clients, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(c))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "benchrunner: bad -clients entry %q\n", c)
+				os.Exit(2)
+			}
+			cfg.Clients = append(cfg.Clients, n)
+		}
 	}
 	ids := []string{*exp}
 	if *exp == "all" {

@@ -24,6 +24,7 @@ type Config struct {
 	Scale    float64  // dataset scale factor; 0 ⇒ 0.02
 	Datasets []string // subset of profiles; empty ⇒ all six
 	Queries  int      // cap on query count per dataset; 0 ⇒ 100
+	Clients  []int    // client counts for the concurrent-QPS experiment; empty ⇒ 1,2,4,8,16
 	Seed     int64
 	Out      io.Writer
 
@@ -44,6 +45,9 @@ func (c *Config) defaults() {
 		for _, p := range dataset.Profiles {
 			c.Datasets = append(c.Datasets, p.Name)
 		}
+	}
+	if len(c.Clients) == 0 {
+		c.Clients = []int{1, 2, 4, 8, 16}
 	}
 	if c.cache == nil {
 		c.cache = make(map[string]*dataset.Dataset)

@@ -73,6 +73,12 @@ type Params struct {
 	// Generalized-engine substrate knobs.
 	PageSize     int // RC#4 (default 8192)
 	BufferFrames int // default sized to hold the whole index
+	// BufferPartitions splits the buffer pool PostgreSQL-style; 0 means 1
+	// — the paper-faithful single global lock, so every RC#2/RC#3
+	// experiment reproduces the paper's serialization unchanged. The
+	// concurrent-query benchmark raises it (e.g. to 16) to measure
+	// inter-query scaling.
+	BufferPartitions int
 	// ExtraAMOpts merges additional WITH-options into the generalized
 	// CREATE INDEX (e.g. packed=true for the memory-optimized HNSW
 	// layout ablation).

@@ -78,7 +78,11 @@ func buildGeneralized(kind IndexKind, engine Engine, ds *dataset.Dataset, p Para
 		dataBytes := int64(ds.N()) * (int64(ds.Dim)*4 + 64)
 		frames = int(6*dataBytes/int64(pageSize)) + 1024
 	}
-	d, err := db.Open(db.Config{PageSize: p.PageSize, BufferFrames: frames, Prof: p.Prof})
+	partitions := p.BufferPartitions
+	if partitions == 0 {
+		partitions = 1 // paper-faithful single-lock pool (RC#2/RC#3)
+	}
+	d, err := db.Open(db.Config{PageSize: p.PageSize, BufferFrames: frames, BufferPartitions: partitions, Prof: p.Prof})
 	if err != nil {
 		return nil, res, err
 	}

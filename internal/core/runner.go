@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 	"time"
 
 	"vecstudy/internal/dataset"
@@ -41,6 +43,77 @@ func WarmUp(ix Index, ds *dataset.Dataset, k, n int) error {
 		}
 	}
 	return nil
+}
+
+// ConcurrentResult reports a multi-client search workload: the
+// inter-query scaling numbers the paper never measures (its experiments
+// are all single-query), and the metric that the buffer-pool
+// partitioning exists to improve.
+type ConcurrentResult struct {
+	Clients int
+	Queries int // total across all clients
+	Wall    time.Duration
+	QPS     float64
+	P50     time.Duration
+	P99     time.Duration
+}
+
+// RunSearchConcurrent drives the index from clients goroutines, each
+// issuing perClient top-k searches round-robin over the dataset's query
+// set, and reports aggregate QPS plus per-query latency percentiles.
+// The index is shared: this measures inter-query concurrency (buffer
+// pool contention included), not intra-query threading.
+func RunSearchConcurrent(ix Index, ds *dataset.Dataset, k, clients, perClient int) (ConcurrentResult, error) {
+	res := ConcurrentResult{Clients: clients, Queries: clients * perClient}
+	if clients < 1 || perClient < 1 {
+		return res, fmt.Errorf("core: concurrent run needs clients and queries >= 1")
+	}
+	lats := make([][]time.Duration, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			own := make([]time.Duration, 0, perClient)
+			for i := 0; i < perClient; i++ {
+				q := (c*perClient + i) % ds.NQ()
+				t0 := time.Now()
+				if _, err := ix.Search(ds.Queries.Row(q), k); err != nil {
+					errs[c] = fmt.Errorf("core: client %d query %d: %w", c, q, err)
+					return
+				}
+				own = append(own, time.Since(t0))
+			}
+			lats[c] = own
+		}(c)
+	}
+	wg.Wait()
+	res.Wall = time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return res, err
+		}
+	}
+	all := make([]time.Duration, 0, res.Queries)
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res.QPS = float64(len(all)) / res.Wall.Seconds()
+	res.P50 = percentile(all, 0.50)
+	res.P99 = percentile(all, 0.99)
+	return res, nil
+}
+
+// percentile returns the p-quantile of sorted latencies (nearest-rank).
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
 }
 
 // Comparison pairs the two engines' results for one experiment cell.

@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"sync"
 
 	"vecstudy/internal/minheap"
 	"vecstudy/internal/pase"
@@ -104,52 +103,20 @@ func (ix *Index) searchSerial(query []float32, k int, probes []int32) ([]am.Resu
 	return itemsToResults(items), nil
 }
 
-// searchParallel distributes probed buckets over worker goroutines that
-// all push into a single mutex-guarded global heap — PASE's strategy in
-// Fig 18, which is why it fails to scale.
+// searchParallel distributes probed buckets over the shared worker pool;
+// every worker pushes into a single mutex-guarded global heap — PASE's
+// strategy in Fig 18, which is why it fails to scale.
 func (ix *Index) searchParallel(query []float32, k int, probes []int32, threads int) ([]am.Result, error) {
-	if threads > len(probes) {
-		threads = len(probes)
-	}
 	global := minheap.NewSharedTopK(k)
-	var cursor int
-	var curMu sync.Mutex
-	nextProbe := func() (int32, bool) {
-		curMu.Lock()
-		defer curMu.Unlock()
-		if cursor >= len(probes) {
-			return 0, false
+	err := pase.ScanProbesParallel(probes, threads, func() func(int32) error {
+		return func(probe int32) error {
+			return ix.scanBuckets(query, []int32{probe}, func(tid heap.TID, dist float32) {
+				global.Push(int64(packTID(tid)), dist)
+			})
 		}
-		p := probes[cursor]
-		cursor++
-		return p, true
-	}
-	var wg sync.WaitGroup
-	errCh := make(chan error, threads)
-	for t := 0; t < threads; t++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				probe, ok := nextProbe()
-				if !ok {
-					return
-				}
-				err := ix.scanBuckets(query, []int32{probe}, func(tid heap.TID, dist float32) {
-					global.Push(int64(packTID(tid)), dist)
-				})
-				if err != nil {
-					errCh <- err
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	select {
-	case err := <-errCh:
+	})
+	if err != nil {
 		return nil, err
-	default:
 	}
 	return itemsToResults(global.Results()), nil
 }

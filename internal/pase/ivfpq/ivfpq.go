@@ -487,50 +487,20 @@ func (ix *Index) Search(query []float32, k int, params map[string]string) ([]am.
 }
 
 func (ix *Index) searchParallel(query []float32, k int, probes []int32, threads int) ([]am.Result, error) {
-	if threads > len(probes) {
-		threads = len(probes)
-	}
 	global := minheap.NewSharedTopK(k)
-	var cursor int
-	var curMu sync.Mutex
-	next := func() (int32, bool) {
-		curMu.Lock()
-		defer curMu.Unlock()
-		if cursor >= len(probes) {
-			return 0, false
+	err := pase.ScanProbesParallel(probes, threads, func() func(int32) error {
+		// Per-worker scratch: the naive distance table (RC#7) and the
+		// residual buffer.
+		tab := make([]float32, ix.quant.M*ix.quant.KSub)
+		scratch := make([]float32, ix.meta.Dim)
+		return func(cid int32) error {
+			return ix.scanBucket(query, cid, tab, scratch, func(tid heap.TID, dist float32) {
+				global.Push(packTID(tid), dist)
+			})
 		}
-		p := probes[cursor]
-		cursor++
-		return p, true
-	}
-	var wg sync.WaitGroup
-	errCh := make(chan error, threads)
-	for t := 0; t < threads; t++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			tab := make([]float32, ix.quant.M*ix.quant.KSub)
-			scratch := make([]float32, ix.meta.Dim)
-			for {
-				cid, ok := next()
-				if !ok {
-					return
-				}
-				err := ix.scanBucket(query, cid, tab, scratch, func(tid heap.TID, dist float32) {
-					global.Push(packTID(tid), dist)
-				})
-				if err != nil {
-					errCh <- err
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	select {
-	case err := <-errCh:
+	})
+	if err != nil {
 		return nil, err
-	default:
 	}
 	return itemsToResults(global.Results()), nil
 }

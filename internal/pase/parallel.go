@@ -1,0 +1,53 @@
+package pase
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ScanProbesParallel distributes probed bucket IDs over worker
+// goroutines — the shared worker pool behind the RC#3 parallel search
+// paths of ivfflat and ivfpq. newWorker runs once per goroutine and
+// returns that worker's scan function (closing over any per-worker
+// scratch, e.g. ivfpq's distance table).
+//
+// Probes are handed out through an atomic cursor. The first scan error
+// raises a shared cancel flag that every worker checks before taking its
+// next probe, so the remaining workers stop promptly instead of scanning
+// every leftover probe, and the error propagates as soon as the pool
+// drains. Only the first error is returned.
+func ScanProbesParallel(probes []int32, threads int, newWorker func() func(probe int32) error) error {
+	if threads > len(probes) {
+		threads = len(probes)
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	var (
+		cursor   atomic.Int64
+		canceled atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scan := newWorker()
+			for !canceled.Load() {
+				i := cursor.Add(1) - 1
+				if i >= int64(len(probes)) {
+					return
+				}
+				if err := scan(probes[i]); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					canceled.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

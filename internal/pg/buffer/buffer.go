@@ -5,15 +5,27 @@
 //
 // Every tuple access in the generalized engine goes through Pool.Pin —
 // the page-table lookup, pin bookkeeping, and (on miss) block I/O are the
-// "Tuple Access" overhead the paper attributes to RC#2. The pool is shared
-// and mutex-protected like PostgreSQL's buffer mapping locks, which is
-// also what serializes PASE's intra-query parallelism in Fig 18.
+// "Tuple Access" overhead the paper attributes to RC#2.
+//
+// The pool is hash-partitioned the way PostgreSQL splits its buffer
+// mapping lock into NUM_BUFFER_PARTITIONS (128) independently locked
+// partitions: each Tag hashes to one partition with its own mutex, page
+// table, frame arena, clock hand, and counters, so concurrent queries
+// touching different pages proceed without contending on a single lock.
+// A single-partition pool (NewPool) reproduces the paper's global-lock
+// behavior — the configuration PASE inherits and the one that serializes
+// intra-query parallelism in Fig 18 — and stays the default for every
+// paper experiment. Pin counts and dirty flags are atomics, so Release
+// and MarkDirty never take a partition lock on the hot path (the pin
+// atomics also carry the happens-before edge that publishes a writer's
+// page modifications to the next pinner).
 package buffer
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"vecstudy/internal/pg/page"
 	"vecstudy/internal/pg/storage"
@@ -36,7 +48,18 @@ var (
 	ErrNotPinned     = errors.New("buffer: releasing an unpinned buffer")
 	ErrPoolTooSmall  = errors.New("buffer: pool must have at least 4 frames")
 	ErrPageSizeMixed = errors.New("buffer: store page size differs from pool page size")
+	ErrBadPartitions = errors.New("buffer: partition count must be at least 1")
+	ErrPoolPinned    = errors.New("buffer: pool has pinned buffers")
 )
+
+// DefaultPartitions is the production partition count. PostgreSQL uses
+// 128 buffer-mapping partitions; 16 saturates the core counts this pool
+// is run on while keeping each partition's frame arena large.
+const DefaultPartitions = 16
+
+// MaxPartitions bounds the SET buffer_partitions knob (PostgreSQL's
+// NUM_BUFFER_PARTITIONS).
+const MaxPartitions = 128
 
 // Stats counts pool activity; the benchmark harness reports hit rates.
 type Stats struct {
@@ -44,6 +67,20 @@ type Stats struct {
 	Misses    int64
 	Evictions int64
 	Writes    int64 // dirty write-backs
+	// LockWaits counts contended partition-lock acquisitions on the Pin
+	// hot path (a TryLock that failed before blocking). This is the
+	// direct signal the partitioning removes: concurrent clients on a
+	// single-partition pool rack these up on every tuple access, the way
+	// PostgreSQL backends queue on an undersized buffer mapping lock.
+	LockWaits int64
+}
+
+func (s *Stats) add(o Stats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.Writes += o.Writes
+	s.LockWaits += o.LockWaits
 }
 
 // WALFlusher is the hook the write-ahead log registers so the pool can
@@ -56,43 +93,141 @@ type WALFlusher interface {
 type frame struct {
 	tag   Tag
 	data  []byte
-	pin   int32
+	pin   atomic.Int32
 	usage uint8
-	dirty bool
+	dirty atomic.Bool
 	valid bool
 }
 
-// Pool is a shared buffer pool.
-type Pool struct {
+// partition is one independently locked slice of the pool: its own page
+// table, frame arena, free list, clock hand, and counters.
+type partition struct {
 	mu        sync.Mutex
-	pageSize  int
+	lockWaits atomic.Int64 // contended hot-path acquisitions (see Stats.LockWaits)
 	frames    []frame
 	table     map[Tag]int
-	stores    map[RelID]storage.PageStore
+	free      []int // invalid frames ready for reuse
 	clockHand int
 	stats     Stats
-	wal       WALFlusher
 }
 
-// NewPool creates a pool of nframes pages of pageSize bytes each.
+// lock acquires the partition mutex, counting the acquisition as
+// contended when another holder forces the slow path.
+func (pt *partition) lock() {
+	if pt.mu.TryLock() {
+		return
+	}
+	pt.lockWaits.Add(1)
+	pt.mu.Lock()
+}
+
+// Pool is a shared, hash-partitioned buffer pool.
+type Pool struct {
+	pageSize int
+	nframes  int
+	parts    atomic.Pointer[[]*partition]
+
+	// regMu guards the relation registry (stores, per-relation extension
+	// locks, WAL hook). Lock order: partition mutexes before regMu; no
+	// code path acquires a partition mutex while holding regMu.
+	regMu  sync.RWMutex
+	stores map[RelID]storage.PageStore
+	extend map[RelID]*sync.Mutex
+	wal    WALFlusher
+
+	repartMu sync.Mutex // serializes SetPartitions
+}
+
+// NewPool creates a single-partition pool of nframes pages of pageSize
+// bytes each — the paper-faithful global-lock configuration.
 func NewPool(pageSize, nframes int) (*Pool, error) {
+	return NewPartitionedPool(pageSize, nframes, 1)
+}
+
+// NewPartitionedPool creates a pool whose frames are split over
+// partitions independently locked partitions. The count is clamped so
+// every partition keeps at least 4 frames, and to MaxPartitions.
+func NewPartitionedPool(pageSize, nframes, partitions int) (*Pool, error) {
 	if nframes < 4 {
 		return nil, ErrPoolTooSmall
 	}
 	if pageSize < page.MinSize || pageSize > page.MaxSize {
 		return nil, fmt.Errorf("buffer: invalid page size %d", pageSize)
 	}
+	if partitions < 1 {
+		return nil, ErrBadPartitions
+	}
 	p := &Pool{
 		pageSize: pageSize,
-		frames:   make([]frame, nframes),
-		table:    make(map[Tag]int, nframes),
+		nframes:  nframes,
 		stores:   make(map[RelID]storage.PageStore, 8),
+		extend:   make(map[RelID]*sync.Mutex, 8),
 	}
-	for i := range p.frames {
-		p.frames[i].data = make([]byte, pageSize)
-	}
+	parts := makePartitions(pageSize, nframes, clampPartitions(partitions, nframes))
+	p.parts.Store(&parts)
 	return p, nil
 }
+
+// clampPartitions bounds a requested partition count to [1, MaxPartitions]
+// with at least 4 frames per partition.
+func clampPartitions(n, nframes int) int {
+	if max := nframes / 4; n > max {
+		n = max
+	}
+	if n > MaxPartitions {
+		n = MaxPartitions
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// makePartitions distributes nframes frames over n partitions (the first
+// nframes%n partitions take one extra frame).
+func makePartitions(pageSize, nframes, n int) []*partition {
+	parts := make([]*partition, n)
+	per, rem := nframes/n, nframes%n
+	for i := range parts {
+		sz := per
+		if i < rem {
+			sz++
+		}
+		pt := &partition{
+			frames: make([]frame, sz),
+			table:  make(map[Tag]int, sz),
+			free:   make([]int, 0, sz),
+		}
+		for j := range pt.frames {
+			pt.frames[j].data = make([]byte, pageSize)
+			pt.free = append(pt.free, sz-1-j) // pop order = ascending index
+		}
+		parts[i] = pt
+	}
+	return parts
+}
+
+// partitions returns the current partition set.
+func (p *Pool) partitions() []*partition {
+	return *p.parts.Load()
+}
+
+// partitionFor hashes a tag to its partition (64-bit multiplicative mix,
+// the moral equivalent of PostgreSQL's BufTableHashPartition).
+func (p *Pool) partitionFor(tag Tag) *partition {
+	parts := p.partitions()
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	h := uint64(tag.Rel)*0x9E3779B97F4A7C15 ^ uint64(tag.Blk)*0xC2B2AE3D27D4EB4F
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return parts[h%uint64(len(parts))]
+}
+
+// Partitions reports the current partition count.
+func (p *Pool) Partitions() int { return len(p.partitions()) }
 
 // PageSize returns the pool's page size.
 func (p *Pool) PageSize() int { return p.pageSize }
@@ -102,53 +237,194 @@ func (p *Pool) Register(rel RelID, store storage.PageStore) error {
 	if store.PageSize() != p.pageSize {
 		return ErrPageSizeMixed
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.regMu.Lock()
+	defer p.regMu.Unlock()
 	p.stores[rel] = store
+	if _, ok := p.extend[rel]; !ok {
+		p.extend[rel] = new(sync.Mutex)
+	}
 	return nil
 }
 
-// Deregister flushes and detaches a relation (e.g., on DROP).
+// store resolves a registered relation's page store.
+func (p *Pool) store(rel RelID) (storage.PageStore, error) {
+	p.regMu.RLock()
+	store, ok := p.stores[rel]
+	p.regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownRel, rel)
+	}
+	return store, nil
+}
+
+// storeAndExtendLock resolves a relation's store together with its
+// extension lock (PostgreSQL's relation extension lock).
+func (p *Pool) storeAndExtendLock(rel RelID) (storage.PageStore, *sync.Mutex, error) {
+	p.regMu.RLock()
+	store, ok := p.stores[rel]
+	ext := p.extend[rel]
+	p.regMu.RUnlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %d", ErrUnknownRel, rel)
+	}
+	return store, ext, nil
+}
+
+// Deregister flushes and detaches a relation (e.g., on DROP). It fails
+// without mutating anything when the relation still has pinned buffers:
+// the pinned-frame scan runs to completion before any frame is flushed
+// or invalidated, so a failed Deregister never leaves the pool
+// half-deregistered.
 func (p *Pool) Deregister(rel RelID) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for i := range p.frames {
-		f := &p.frames[i]
-		if f.valid && f.tag.Rel == rel {
-			if f.pin > 0 {
-				return fmt.Errorf("buffer: deregistering %d with pinned buffers", rel)
-			}
-			if f.dirty {
-				if err := p.writeBackLocked(i); err != nil {
-					return err
-				}
-			}
-			delete(p.table, f.tag)
-			f.valid = false
+	p.repartMu.Lock() // the partition set must not be swapped mid-scan
+	defer p.repartMu.Unlock()
+	parts := p.partitions()
+	for _, pt := range parts {
+		pt.mu.Lock()
+	}
+	unlock := func() {
+		for _, pt := range parts {
+			pt.mu.Unlock()
 		}
 	}
+	// Pass 1: refuse before touching any frame.
+	for _, pt := range parts {
+		for i := range pt.frames {
+			f := &pt.frames[i]
+			if f.valid && f.tag.Rel == rel && f.pin.Load() > 0 {
+				unlock()
+				return fmt.Errorf("buffer: deregistering %d with pinned buffers: %w", rel, ErrPoolPinned)
+			}
+		}
+	}
+	// Pass 2: flush and invalidate.
+	for _, pt := range parts {
+		for i := range pt.frames {
+			f := &pt.frames[i]
+			if f.valid && f.tag.Rel == rel {
+				if f.dirty.Load() {
+					if err := p.writeBack(f); err != nil {
+						unlock()
+						return err
+					}
+				}
+				delete(pt.table, f.tag)
+				f.tag = Tag{}
+				f.valid = false
+				pt.free = append(pt.free, i)
+			}
+		}
+	}
+	unlock()
+	p.regMu.Lock()
 	delete(p.stores, rel)
+	delete(p.extend, rel)
+	p.regMu.Unlock()
 	return nil
 }
 
 // SetWAL installs the WAL-before-data hook.
 func (p *Pool) SetWAL(w WALFlusher) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.regMu.Lock()
+	defer p.regMu.Unlock()
 	p.wal = w
 }
 
-// Stats returns a snapshot of the pool counters.
+func (p *Pool) walHook() WALFlusher {
+	p.regMu.RLock()
+	defer p.regMu.RUnlock()
+	return p.wal
+}
+
+// Stats returns a snapshot of the pool counters aggregated over all
+// partitions.
 func (p *Pool) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	var total Stats
+	for _, pt := range p.partitions() {
+		pt.mu.Lock()
+		st := pt.stats
+		// stats.LockWaits carries repartition history; the atomic holds
+		// waits since this partition was created.
+		st.LockWaits += pt.lockWaits.Load()
+		pt.mu.Unlock()
+		total.add(st)
+	}
+	return total
+}
+
+// PartitionStats returns each partition's counters (for load-balance
+// inspection in the concurrency benchmarks).
+func (p *Pool) PartitionStats() []Stats {
+	parts := p.partitions()
+	out := make([]Stats, len(parts))
+	for i, pt := range parts {
+		pt.mu.Lock()
+		out[i] = pt.stats
+		out[i].LockWaits += pt.lockWaits.Load()
+		pt.mu.Unlock()
+	}
+	return out
+}
+
+// SetPartitions re-hashes the pool into n partitions (clamped like
+// NewPartitionedPool). It requires a quiescent pool — every buffer
+// unpinned — and fails with ErrPoolPinned otherwise. Dirty pages are
+// written back and the cache restarts cold; aggregated counters are
+// preserved. This backs the SET buffer_partitions session knob.
+func (p *Pool) SetPartitions(n int) error {
+	if n < 1 {
+		return ErrBadPartitions
+	}
+	n = clampPartitions(n, p.nframes)
+	p.repartMu.Lock()
+	defer p.repartMu.Unlock()
+	old := p.partitions()
+	if len(old) == n {
+		return nil
+	}
+	for _, pt := range old {
+		pt.mu.Lock()
+	}
+	unlock := func() {
+		for _, pt := range old {
+			pt.mu.Unlock()
+		}
+	}
+	var carried Stats
+	for _, pt := range old {
+		for i := range pt.frames {
+			if pt.frames[i].valid && pt.frames[i].pin.Load() > 0 {
+				unlock()
+				return fmt.Errorf("buffer: repartition with pinned buffers: %w", ErrPoolPinned)
+			}
+		}
+	}
+	for _, pt := range old {
+		for i := range pt.frames {
+			f := &pt.frames[i]
+			if f.valid && f.dirty.Load() {
+				if err := p.writeBack(f); err != nil {
+					unlock()
+					return err
+				}
+				pt.stats.Writes++
+			}
+		}
+		st := pt.stats
+		st.LockWaits += pt.lockWaits.Load()
+		carried.add(st)
+	}
+	fresh := makePartitions(p.pageSize, p.nframes, n)
+	fresh[0].stats = carried
+	p.parts.Store(&fresh)
+	unlock()
+	return nil
 }
 
 // Buf is a pinned buffer. It must be Released exactly once; the page
 // slice is only valid while pinned.
 type Buf struct {
-	pool  *Pool
+	part  *partition
 	idx   int
 	tag   Tag
 	valid bool
@@ -159,184 +435,211 @@ func (b *Buf) Page() page.Page {
 	if !b.valid {
 		panic("buffer: access after Release")
 	}
-	return page.Page(b.pool.frames[b.idx].data)
+	return page.Page(b.part.frames[b.idx].data)
 }
 
 // Block returns the block number this buffer holds.
 func (b *Buf) Block() uint32 { return b.tag.Blk }
 
-// MarkDirty flags the page as modified so eviction writes it back.
+// MarkDirty flags the page as modified so eviction writes it back. It is
+// lock-free: an atomic store on the frame's dirty flag.
 func (b *Buf) MarkDirty() {
 	if !b.valid {
 		panic("buffer: MarkDirty after Release")
 	}
-	b.pool.mu.Lock()
-	b.pool.frames[b.idx].dirty = true
-	b.pool.mu.Unlock()
+	b.part.frames[b.idx].dirty.Store(true)
 }
 
-// Release unpins the buffer.
+// Release unpins the buffer. It is lock-free: one atomic decrement,
+// which also publishes the holder's page writes to the next pinner.
 func (b *Buf) Release() {
 	if !b.valid {
 		panic("buffer: double Release")
 	}
 	b.valid = false
-	p := b.pool
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	f := &p.frames[b.idx]
-	if f.pin <= 0 {
+	if b.part.frames[b.idx].pin.Add(-1) < 0 {
 		panic(ErrNotPinned)
 	}
-	f.pin--
 }
 
 // Pin fetches (rel, blk) into the pool and returns a pinned buffer.
 func (p *Pool) Pin(rel RelID, blk uint32) (*Buf, error) {
 	tag := Tag{Rel: rel, Blk: blk}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if idx, ok := p.table[tag]; ok {
-		f := &p.frames[idx]
-		f.pin++
+	pt := p.partitionFor(tag)
+	pt.lock()
+	if idx, ok := pt.table[tag]; ok {
+		f := &pt.frames[idx]
+		f.pin.Add(1)
 		if f.usage < 5 {
 			f.usage++
 		}
-		p.stats.Hits++
-		return &Buf{pool: p, idx: idx, tag: tag, valid: true}, nil
+		pt.stats.Hits++
+		pt.mu.Unlock()
+		return &Buf{part: pt, idx: idx, tag: tag, valid: true}, nil
 	}
-	p.stats.Misses++
-	store, ok := p.stores[rel]
-	if !ok {
-		return nil, fmt.Errorf("%w: %d", ErrUnknownRel, rel)
-	}
-	idx, err := p.victimLocked()
+	pt.stats.Misses++
+	store, err := p.store(rel)
 	if err != nil {
+		pt.mu.Unlock()
 		return nil, err
 	}
-	f := &p.frames[idx]
+	idx, err := p.victimLocked(pt)
+	if err != nil {
+		pt.mu.Unlock()
+		return nil, err
+	}
+	f := &pt.frames[idx]
 	if err := store.ReadBlock(blk, f.data); err != nil {
+		// Leave the frame invalid with a cleared tag and back on the free
+		// list, so a stale Tag can never alias a future hit.
+		f.tag = Tag{}
+		f.valid = false
+		pt.free = append(pt.free, idx)
+		pt.mu.Unlock()
 		return nil, fmt.Errorf("buffer: read %v: %w", tag, err)
 	}
 	f.tag = tag
-	f.pin = 1
+	f.pin.Store(1)
 	f.usage = 1
-	f.dirty = false
+	f.dirty.Store(false)
 	f.valid = true
-	p.table[tag] = idx
-	return &Buf{pool: p, idx: idx, tag: tag, valid: true}, nil
+	pt.table[tag] = idx
+	pt.mu.Unlock()
+	return &Buf{part: pt, idx: idx, tag: tag, valid: true}, nil
 }
 
 // NewPage extends the relation by one block and returns it pinned and
-// zero-initialized (callers run page.Init).
+// zero-initialized (callers run page.Init). The victim frame is secured
+// before the store grows, so a failed victim search can never leave the
+// relation with an orphan, never-initialized block; the per-relation
+// extension lock makes the predicted block number authoritative.
 func (p *Pool) NewPage(rel RelID) (*Buf, uint32, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	store, ok := p.stores[rel]
-	if !ok {
-		return nil, 0, fmt.Errorf("%w: %d", ErrUnknownRel, rel)
-	}
-	blk, err := store.Extend()
+	store, ext, err := p.storeAndExtendLock(rel)
 	if err != nil {
 		return nil, 0, err
 	}
-	idx, err := p.victimLocked()
+	ext.Lock()
+	defer ext.Unlock()
+	blk := store.NumBlocks() // the block Extend will create
+	tag := Tag{Rel: rel, Blk: blk}
+	pt := p.partitionFor(tag)
+	pt.lock()
+	idx, err := p.victimLocked(pt)
 	if err != nil {
+		pt.mu.Unlock()
 		return nil, 0, err
 	}
-	f := &p.frames[idx]
+	got, err := store.Extend()
+	if err != nil {
+		pt.free = append(pt.free, idx)
+		pt.mu.Unlock()
+		return nil, 0, err
+	}
+	if got != blk {
+		pt.free = append(pt.free, idx)
+		pt.mu.Unlock()
+		return nil, 0, fmt.Errorf("buffer: store extended to block %d, expected %d (store modified outside the pool?)", got, blk)
+	}
+	f := &pt.frames[idx]
 	for i := range f.data {
 		f.data[i] = 0
 	}
-	tag := Tag{Rel: rel, Blk: blk}
 	f.tag = tag
-	f.pin = 1
+	f.pin.Store(1)
 	f.usage = 1
-	f.dirty = true
+	f.dirty.Store(true)
 	f.valid = true
-	p.table[tag] = idx
-	return &Buf{pool: p, idx: idx, tag: tag, valid: true}, blk, nil
+	pt.table[tag] = idx
+	pt.mu.Unlock()
+	return &Buf{part: pt, idx: idx, tag: tag, valid: true}, blk, nil
 }
 
-// victimLocked runs the clock sweep: decrement usage counts of unpinned
-// frames until one reaches zero, evicting (with write-back) as needed.
-func (p *Pool) victimLocked() (int, error) {
-	n := len(p.frames)
-	// An unused (invalid) frame is free; prefer those first.
-	for i := range p.frames {
-		if !p.frames[i].valid {
-			return i, nil
-		}
+// victimLocked pops a free frame if one exists, otherwise runs the clock
+// sweep: decrement usage counts of unpinned frames until one reaches
+// zero, evicting (with write-back) as needed. The returned frame is
+// invalid and owned by the caller, who must either install a page in it
+// or push it back onto the free list. pt.mu must be held.
+func (p *Pool) victimLocked(pt *partition) (int, error) {
+	if n := len(pt.free); n > 0 {
+		idx := pt.free[n-1]
+		pt.free = pt.free[:n-1]
+		return idx, nil
 	}
+	n := len(pt.frames)
 	for spins := 0; spins < 2*n*6; spins++ {
-		idx := p.clockHand
-		p.clockHand = (p.clockHand + 1) % n
-		f := &p.frames[idx]
-		if f.pin > 0 {
+		idx := pt.clockHand
+		pt.clockHand = (pt.clockHand + 1) % n
+		f := &pt.frames[idx]
+		if f.pin.Load() > 0 {
 			continue
 		}
 		if f.usage > 0 {
 			f.usage--
 			continue
 		}
-		if f.dirty {
-			if err := p.writeBackLocked(idx); err != nil {
+		if f.dirty.Load() {
+			if err := p.writeBack(f); err != nil {
 				return 0, err
 			}
-			p.stats.Writes++
+			pt.stats.Writes++
 		}
-		delete(p.table, f.tag)
+		delete(pt.table, f.tag)
+		f.tag = Tag{}
 		f.valid = false
-		p.stats.Evictions++
+		pt.stats.Evictions++
 		return idx, nil
 	}
 	return 0, ErrNoUnpinned
 }
 
-// writeBackLocked flushes one dirty frame to its store, honouring
-// WAL-before-data when a WAL is attached.
-func (p *Pool) writeBackLocked(idx int) error {
-	f := &p.frames[idx]
-	store, ok := p.stores[f.tag.Rel]
-	if !ok {
-		return fmt.Errorf("%w: %d", ErrUnknownRel, f.tag.Rel)
+// writeBack flushes one dirty frame to its store, honouring
+// WAL-before-data when a WAL is attached. The frame's partition mutex
+// must be held. The dirty flag is cleared before the write and restored
+// on failure, so a concurrent MarkDirty during the write is never lost.
+func (p *Pool) writeBack(f *frame) error {
+	store, err := p.store(f.tag.Rel)
+	if err != nil {
+		return err
 	}
-	if p.wal != nil {
+	if w := p.walHook(); w != nil {
 		if lsn := page.Page(f.data).LSN(); lsn > 0 {
-			if err := p.wal.FlushTo(lsn); err != nil {
+			if err := w.FlushTo(lsn); err != nil {
 				return err
 			}
 		}
 	}
+	f.dirty.Store(false)
 	if err := store.WriteBlock(f.tag.Blk, f.data); err != nil {
+		f.dirty.Store(true)
 		return err
 	}
-	f.dirty = false
 	return nil
 }
 
 // FlushAll writes back every dirty page (checkpoint).
 func (p *Pool) FlushAll() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for i := range p.frames {
-		if p.frames[i].valid && p.frames[i].dirty {
-			if err := p.writeBackLocked(i); err != nil {
-				return err
+	for _, pt := range p.partitions() {
+		pt.mu.Lock()
+		for i := range pt.frames {
+			f := &pt.frames[i]
+			if f.valid && f.dirty.Load() {
+				if err := p.writeBack(f); err != nil {
+					pt.mu.Unlock()
+					return err
+				}
+				pt.stats.Writes++
 			}
-			p.stats.Writes++
 		}
+		pt.mu.Unlock()
 	}
 	return nil
 }
 
 // NumBlocks returns the block count of a registered relation.
 func (p *Pool) NumBlocks(rel RelID) (uint32, error) {
-	p.mu.Lock()
-	store, ok := p.stores[rel]
-	p.mu.Unlock()
-	if !ok {
-		return 0, fmt.Errorf("%w: %d", ErrUnknownRel, rel)
+	store, err := p.store(rel)
+	if err != nil {
+		return 0, err
 	}
 	return store.NumBlocks(), nil
 }

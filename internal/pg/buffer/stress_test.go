@@ -1,0 +1,165 @@
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"vecstudy/internal/pg/page"
+	"vecstudy/internal/pg/storage"
+)
+
+// TestConcurrentStress hammers the pool from many goroutines doing
+// Pin/Release/MarkDirty/NewPage across several relations with a frame
+// budget far smaller than the working set, so the clock sweep, the free
+// list, and the lock-free pin/dirty paths are all exercised together.
+// Run with -race; the partitioned and single-lock configurations must
+// both survive.
+//
+// Discipline mirrors the engines': a page's payload is written only by
+// its creator before first Release; afterwards it is read-only (readers
+// re-verify it on every hit, which also checks that evict/reload cycles
+// and failed-read cleanup never serve another block's bytes).
+func TestConcurrentStress(t *testing.T) {
+	for _, parts := range []int{1, 16} {
+		parts := parts
+		t.Run(fmt.Sprintf("partitions=%d", parts), func(t *testing.T) {
+			stressPool(t, parts)
+		})
+	}
+}
+
+func stressPool(t *testing.T, partitions int) {
+	const (
+		nRels   = 3
+		frames  = 64 // well below the working set: constant eviction
+		workers = 8
+	)
+	iters := 400
+	if testing.Short() {
+		iters = 120
+	}
+	p, err := NewPartitionedPool(testPageSize, frames, partitions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rel := RelID(1); rel <= nRels; rel++ {
+		if err := p.Register(rel, storage.NewMemStore(testPageSize)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// blocks[rel] is the number of published pages of rel; a published
+	// page blk of rel carries the payload byte(uint32(rel)*31+blk).
+	var blocks [nRels + 1]atomic.Uint32
+	payload := func(rel RelID, blk uint32) byte { return byte(uint32(rel)*31 + blk) }
+
+	// One creator at a time per relation, like the heap layer's insert
+	// mutex: publication stays dense and monotonic.
+	var seedMu [nRels + 1]sync.Mutex
+	seedPage := func(rel RelID) error {
+		seedMu[rel].Lock()
+		defer seedMu[rel].Unlock()
+		buf, blk, err := p.NewPage(rel)
+		if err != nil {
+			return err
+		}
+		page.Init(buf.Page(), 0)
+		if _, err := buf.Page().AddItem([]byte{payload(rel, blk)}); err != nil {
+			buf.Release()
+			return err
+		}
+		buf.MarkDirty()
+		buf.Release()
+		// Publish only after the content is final.
+		blocks[rel].Store(blk + 1)
+		return nil
+	}
+	for rel := RelID(1); rel <= nRels; rel++ {
+		for i := 0; i < 4; i++ {
+			if err := seedPage(rel); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) * 7919))
+			for i := 0; i < iters; i++ {
+				rel := RelID(rng.Intn(nRels) + 1)
+				switch op := rng.Intn(10); {
+				case op == 0: // grow a relation (NewPage path, extension lock)
+					if err := seedPage(rel); err != nil {
+						// Transient overcommit is legal under pin pressure.
+						if errors.Is(err, ErrNoUnpinned) {
+							continue
+						}
+						errCh <- err
+						return
+					}
+				default: // pin a published page, verify, sometimes re-dirty
+					n := blocks[rel].Load()
+					if n == 0 {
+						continue
+					}
+					blk := uint32(rng.Intn(int(n)))
+					buf, err := p.Pin(rel, blk)
+					if err != nil {
+						if errors.Is(err, ErrNoUnpinned) {
+							continue
+						}
+						errCh <- err
+						return
+					}
+					item, err := buf.Page().Item(1)
+					if err != nil || item[0] != payload(rel, blk) {
+						buf.Release()
+						errCh <- fmt.Errorf("rel %d blk %d: item %v err %v", rel, blk, item, err)
+						return
+					}
+					if op == 1 {
+						buf.MarkDirty() // content unchanged; forces extra write-backs
+					}
+					buf.Release()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Every published page must have survived the churn, via the store.
+	for rel := RelID(1); rel <= nRels; rel++ {
+		n := blocks[rel].Load()
+		for blk := uint32(0); blk < n; blk++ {
+			buf, err := p.Pin(rel, blk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			item, err := buf.Page().Item(1)
+			if err != nil || item[0] != payload(rel, blk) {
+				t.Fatalf("rel %d blk %d after stress: item %v err %v", rel, blk, item, err)
+			}
+			buf.Release()
+		}
+	}
+	st := p.Stats()
+	if st.Misses == 0 || st.Evictions == 0 {
+		t.Errorf("stress did not exercise eviction: %+v", st)
+	}
+}

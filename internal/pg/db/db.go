@@ -31,6 +31,13 @@ type Config struct {
 	// (128 MiB at the default page size — everything memory-resident, as
 	// the paper's methodology requires).
 	BufferFrames int
+	// BufferPartitions splits the buffer pool into independently locked
+	// partitions, like PostgreSQL's buffer-mapping partitions. 0 means
+	// buffer.DefaultPartitions (16, the concurrent-serving default);
+	// 1 reproduces the paper's single-lock pool (the RC#2/RC#3
+	// ablation configuration). Adjustable at runtime through
+	// SetBufferPartitions / SET buffer_partitions.
+	BufferPartitions int
 	// Dir is the database directory for file-backed storage; empty means
 	// fully in-memory page stores (the tmpfs configuration of Sec V-A2).
 	Dir string
@@ -62,7 +69,10 @@ func Open(cfg Config) (*DB, error) {
 	if cfg.BufferFrames == 0 {
 		cfg.BufferFrames = 16384
 	}
-	pool, err := buffer.NewPool(cfg.PageSize, cfg.BufferFrames)
+	if cfg.BufferPartitions == 0 {
+		cfg.BufferPartitions = buffer.DefaultPartitions
+	}
+	pool, err := buffer.NewPartitionedPool(cfg.PageSize, cfg.BufferFrames, cfg.BufferPartitions)
 	if err != nil {
 		return nil, err
 	}
@@ -134,6 +144,13 @@ func (d *DB) openStore(rel buffer.RelID) (storage.PageStore, error) {
 
 // Pool exposes the shared buffer pool (benchmarks report its hit rates).
 func (d *DB) Pool() *buffer.Pool { return d.pool }
+
+// SetBufferPartitions repartitions the buffer pool at runtime (the SET
+// buffer_partitions knob). The pool must be quiescent — no pinned
+// buffers — or buffer.ErrPoolPinned is returned.
+func (d *DB) SetBufferPartitions(n int) error {
+	return d.pool.SetPartitions(n)
+}
 
 // Catalog exposes the schema registry.
 func (d *DB) Catalog() *catalog.Catalog { return d.cat }

@@ -3,6 +3,7 @@ package sql
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"vecstudy/internal/minheap"
@@ -10,6 +11,12 @@ import (
 	"vecstudy/internal/pg/heap"
 	"vecstudy/internal/vec"
 )
+
+// BufferPartitionsSetting is the session knob that repartitions the
+// shared buffer pool at runtime (`SET buffer_partitions = 16`), the
+// analogue of PostgreSQL's NUM_BUFFER_PARTITIONS compile-time constant.
+// 1 restores the paper's single-lock pool.
+const BufferPartitionsSetting = "buffer_partitions"
 
 // Session executes statements against a database and carries session
 // settings (scan parameters like nprobe, efs, threads — PASE exposes the
@@ -58,9 +65,24 @@ func (s *Session) run(stmt Stmt) (*Result, error) {
 		}
 		return &Result{Msg: "CREATE INDEX"}, nil
 	case *SetStmt:
+		if st.Name == BufferPartitionsSetting {
+			n, err := strconv.Atoi(st.Value)
+			if err != nil {
+				return nil, fmt.Errorf("sql: SET %s expects an integer: %w", BufferPartitionsSetting, err)
+			}
+			if err := s.db.SetBufferPartitions(n); err != nil {
+				return nil, err
+			}
+			// Record the clamped, effective value, not the request.
+			s.settings[st.Name] = strconv.Itoa(s.db.Pool().Partitions())
+			return &Result{Msg: "SET"}, nil
+		}
 		s.settings[st.Name] = st.Value
 		return &Result{Msg: "SET"}, nil
 	case *ShowStmt:
+		if st.Name == BufferPartitionsSetting {
+			return &Result{Cols: []string{st.Name}, Rows: [][]any{{strconv.Itoa(s.db.Pool().Partitions())}}}, nil
+		}
 		return &Result{Cols: []string{st.Name}, Rows: [][]any{{s.settings[st.Name]}}}, nil
 	case *SelectStmt:
 		return s.runSelect(st)

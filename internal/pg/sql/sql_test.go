@@ -145,6 +145,32 @@ func TestSetAndShow(t *testing.T) {
 	}
 }
 
+func TestSetBufferPartitions(t *testing.T) {
+	s := newSession(t)
+	loadVectors(t, s, 50)
+	mustExec(t, s, "SET buffer_partitions = 8")
+	if got := s.db.Pool().Partitions(); got != 8 {
+		t.Fatalf("pool partitions = %d after SET, want 8", got)
+	}
+	res := mustExec(t, s, "SHOW buffer_partitions")
+	if res.Rows[0][0].(string) != "8" {
+		t.Errorf("SHOW buffer_partitions = %v", res.Rows[0][0])
+	}
+	// Data must survive the repartition (flush + cold restart of the cache).
+	res = mustExec(t, s, "SELECT count(*) FROM t")
+	if res.Rows[0][0].(int64) != 50 {
+		t.Errorf("count after repartition = %v, want 50", res.Rows[0][0])
+	}
+	// Back to the paper's single-lock configuration.
+	mustExec(t, s, "SET buffer_partitions = 1")
+	if got := s.db.Pool().Partitions(); got != 1 {
+		t.Errorf("pool partitions = %d, want 1", got)
+	}
+	if _, err := s.Execute("SET buffer_partitions = zero"); err == nil {
+		t.Error("non-integer buffer_partitions accepted")
+	}
+}
+
 func TestInsertAfterIndexIsSearchable(t *testing.T) {
 	s := newSession(t)
 	loadVectors(t, s, 200)

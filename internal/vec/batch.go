@@ -77,9 +77,11 @@ func DistancesL2Decomposed(xs []float32, nx int, ys []float32, ny, d int, out []
 // row in ys (the centroids), writing assignments and the corresponding
 // squared distances. If useGemm is true the decomposed SGEMM path is used
 // (Faiss/RC#1 on), otherwise the naive per-pair path (PASE/RC#1 off).
-// threads parallelizes across x rows; ≤ 1 is serial.
+// threads parallelizes across x rows; ≤ 1 is serial. With an empty
+// centroid set (ny == 0) there is no nearest row: assign and dists are
+// left untouched instead of panicking on the first centroid slice.
 func AssignBatch(xs []float32, nx int, ys []float32, ny, d int, assign []int32, dists []float32, useGemm bool, threads int) {
-	if nx == 0 {
+	if nx == 0 || ny == 0 {
 		return
 	}
 	if threads <= 0 {

@@ -1,0 +1,79 @@
+package vec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randRows fills n rows of dimension d deterministically.
+func randRows(rng *rand.Rand, n, d int) []float32 {
+	out := make([]float32, n*d)
+	for i := range out {
+		out[i] = rng.Float32()*2 - 1
+	}
+	return out
+}
+
+// Regression: AssignBatch used to panic on ys[:d] when the centroid set
+// was empty. Edge cases around tiny nx/ny must degrade cleanly.
+func TestAssignBatchEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const d = 8
+	cases := []struct {
+		name    string
+		nx, ny  int
+		threads int
+	}{
+		{"nx=0", 0, 5, 1},
+		{"ny=0_serial", 3, 0, 1},
+		{"ny=0_parallel", 3, 0, 4},
+		{"ny=0_gemm", 3, 0, 2},
+		{"both_zero", 0, 0, 2},
+		{"ny<threads", 6, 2, 8},
+		{"nx<threads", 2, 3, 8},
+		{"one_centroid", 5, 1, 3},
+	}
+	for _, tc := range cases {
+		for _, useGemm := range []bool{false, true} {
+			name := tc.name + "/naive"
+			if useGemm {
+				name = tc.name + "/gemm"
+			}
+			t.Run(name, func(t *testing.T) {
+				xs := randRows(rng, tc.nx, d)
+				ys := randRows(rng, tc.ny, d)
+				assign := make([]int32, tc.nx)
+				dists := make([]float32, tc.nx)
+				for i := range assign {
+					assign[i] = -7 // sentinel: untouched on empty inputs
+					dists[i] = -7
+				}
+				AssignBatch(xs, tc.nx, ys, tc.ny, d, assign, dists, useGemm, tc.threads)
+				if tc.ny == 0 {
+					for i := range assign {
+						if assign[i] != -7 || dists[i] != -7 {
+							t.Fatalf("row %d written with no centroids: assign=%d dist=%g", i, assign[i], dists[i])
+						}
+					}
+					return
+				}
+				// Verify against a direct serial argmin.
+				for i := 0; i < tc.nx; i++ {
+					x := xs[i*d : (i+1)*d]
+					best, bestD := int32(0), L2SqrRef(x, ys[:d])
+					for j := 1; j < tc.ny; j++ {
+						if dd := L2SqrRef(x, ys[j*d:(j+1)*d]); dd < bestD {
+							best, bestD = int32(j), dd
+						}
+					}
+					if assign[i] != best {
+						t.Fatalf("row %d assigned to %d, want %d", i, assign[i], best)
+					}
+					if diff := dists[i] - bestD; diff < -1e-4 || diff > 1e-4 {
+						t.Fatalf("row %d dist %g, want %g", i, dists[i], bestD)
+					}
+				}
+			})
+		}
+	}
+}
