@@ -1,6 +1,6 @@
-// Command vdb is an interactive SQL shell over the generalized vector
-// database — the PostgreSQL-style engine with the PASE-style index access
-// methods. It speaks the dialect of internal/pg/sql:
+// Command vdb is a SQL shell and network server over the generalized
+// vector database — the PostgreSQL-style engine with the PASE-style
+// index access methods. It speaks the dialect of internal/pg/sql:
 //
 //	CREATE TABLE t (id int, vec float[]);
 //	INSERT INTO t VALUES (1, '{0.1, 0.2, 0.3}');
@@ -9,19 +9,34 @@
 //	SELECT id, distance FROM t ORDER BY vec <-> '{0.1,0.2,0.3}' LIMIT 10;
 //
 // With -d the database is file-backed (and persists across runs); without
-// it everything lives in memory. Statements may also be piped on stdin.
+// it everything lives in memory. Statements may also be piped on stdin;
+// in that mode vdb exits non-zero if any statement failed (after
+// draining the rest of the input), so scripts and CI can detect bad SQL.
+//
+// Serving modes:
+//
+//	vdb -listen :5462            serve the database over TCP
+//	vdb -connect host:5462       remote shell against a running server
+//	vdb -connect host:5462 -ping liveness probe (exit 0 = serving)
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
+	"vecstudy/internal/client"
 	_ "vecstudy/internal/pase/all"
 	"vecstudy/internal/pg/db"
 	"vecstudy/internal/pg/sql"
+	"vecstudy/internal/server"
+	"vecstudy/internal/wire"
 )
 
 func main() {
@@ -29,8 +44,22 @@ func main() {
 		dir      = flag.String("d", "", "database directory (empty = in-memory)")
 		pageSize = flag.Int("pagesize", 8192, "page size in bytes")
 		enWAL    = flag.Bool("wal", false, "enable write-ahead logging (requires -d)")
+		listen   = flag.String("listen", "", "serve the database over TCP on this address (e.g. :5462)")
+		connect  = flag.String("connect", "", "connect to a vdb server instead of opening a local database")
+		ping     = flag.Bool("ping", false, "with -connect: probe the server and exit")
+		maxConns = flag.Int("max-conns", 64, "with -listen: concurrently served connections")
+		queueLen = flag.Int("queue", 128, "with -listen: admission queue depth beyond -max-conns")
+		qTimeout = flag.Duration("query-timeout", 30*time.Second, "with -listen: per-statement timeout")
 	)
 	flag.Parse()
+
+	if *connect != "" {
+		os.Exit(runRemote(*connect, *ping))
+	}
+	if *ping {
+		fmt.Fprintln(os.Stderr, "vdb: -ping requires -connect")
+		os.Exit(2)
+	}
 
 	d, err := db.Open(db.Config{Dir: *dir, PageSize: *pageSize, EnableWAL: *enWAL})
 	if err != nil {
@@ -38,14 +67,89 @@ func main() {
 		os.Exit(1)
 	}
 	defer d.Close()
-	sess := sql.NewSession(d)
 
+	if *listen != "" {
+		os.Exit(runServer(d, *listen, server.Config{
+			MaxActive:    *maxConns,
+			QueueDepth:   *queueLen,
+			QueryTimeout: *qTimeout,
+		}))
+	}
+
+	sess := sql.NewSession(d)
+	ok := repl(func(text string) (*wire.Result, error) {
+		res, err := sess.Execute(text)
+		if err != nil {
+			return nil, err
+		}
+		return &wire.Result{Cols: res.Cols, Rows: res.Rows, Msg: res.Msg}, nil
+	})
+	if !ok {
+		d.Close()
+		os.Exit(1)
+	}
+}
+
+// runServer serves until SIGINT/SIGTERM, then drains gracefully.
+func runServer(d *db.DB, addr string, cfg server.Config) int {
+	srv := server.New(d, cfg)
+	if err := srv.Start(addr); err != nil {
+		fmt.Fprintf(os.Stderr, "vdb: %v\n", err)
+		return 1
+	}
+	fmt.Printf("vdb: serving on %s (max-conns=%d queue=%d query-timeout=%v)\n",
+		srv.Addr(), cfg.MaxActive, cfg.QueueDepth, cfg.QueryTimeout)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	sig := <-sigc
+	fmt.Printf("vdb: %v — draining\n", sig)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "vdb: drain: %v\n", err)
+		return 1
+	}
+	st := srv.Stats()
+	fmt.Printf("vdb: drained (served %d queries, %d errors, p50=%v p99=%v)\n",
+		st.Queries, st.Errors, st.P50, st.P99)
+	return 0
+}
+
+// runRemote is the -connect mode: a ping probe or a remote shell.
+func runRemote(addr string, pingOnly bool) int {
+	c, err := client.Dial(addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vdb: %v\n", err)
+		return 1
+	}
+	defer c.Close()
+	if pingOnly {
+		if err := c.Ping(); err != nil {
+			fmt.Fprintf(os.Stderr, "vdb: ping %s: %v\n", addr, err)
+			return 1
+		}
+		fmt.Printf("vdb: %s is serving\n", addr)
+		return 0
+	}
+	if ok := repl(c.Execute); !ok {
+		return 1
+	}
+	return 0
+}
+
+// repl reads statements from stdin (interactive prompt on a TTY) and
+// executes them through exec. It reports false if any statement failed
+// while non-interactive (piped SQL), after draining the input.
+func repl(exec func(string) (*wire.Result, error)) bool {
 	interactive := isTerminal()
 	if interactive {
 		fmt.Println("vdb — generalized vector database shell (\\q to quit)")
 	}
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<26)
+	clean := true
 	var stmt strings.Builder
 	for {
 		if interactive {
@@ -71,27 +175,34 @@ func main() {
 		if !strings.HasSuffix(trimmed, ";") {
 			continue
 		}
-		runStatement(sess, stmt.String())
+		if !runStatement(exec, stmt.String()) {
+			clean = false
+		}
 		stmt.Reset()
 	}
 	if stmt.Len() > 0 {
-		runStatement(sess, stmt.String())
+		if !runStatement(exec, stmt.String()) {
+			clean = false
+		}
 	}
 	if err := scanner.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "vdb: %v\n", err)
-		os.Exit(1)
+		return false
 	}
+	// Interactive users saw each ERROR as it happened; only piped input
+	// turns past failures into a non-zero exit.
+	return interactive || clean
 }
 
-func runStatement(sess *sql.Session, text string) {
-	res, err := sess.Execute(text)
+func runStatement(exec func(string) (*wire.Result, error), text string) bool {
+	res, err := exec(text)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ERROR: %v\n", err)
-		return
+		return false
 	}
 	if res.Msg != "" {
 		fmt.Println(res.Msg)
-		return
+		return true
 	}
 	fmt.Println(strings.Join(res.Cols, " | "))
 	for _, row := range res.Rows {
@@ -111,6 +222,7 @@ func runStatement(sess *sql.Session, text string) {
 		fmt.Println(strings.Join(parts, " | "))
 	}
 	fmt.Printf("(%d rows)\n", len(res.Rows))
+	return true
 }
 
 func isTerminal() bool {

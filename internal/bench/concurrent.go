@@ -2,6 +2,7 @@ package bench
 
 import (
 	"runtime"
+	"sort"
 	"time"
 
 	"vecstudy/internal/core"
@@ -40,6 +41,11 @@ func runQPS(cfg *Config) error {
 	if perClient <= 0 {
 		perClient = 100
 	}
+	// Sweep client counts ascending regardless of the -clients order the
+	// user typed, so speedup_x is always normalized to the smallest
+	// client count (the closest thing to a single-client baseline).
+	clientCounts := append([]int(nil), cfg.Clients...)
+	sort.Ints(clientCounts)
 	cfg.printf("dataset=%s index=ivf_flat nprobe=%d k=%d queries_per_client=%d gomaxprocs=%d\n",
 		ds.Name, p.NProbe, p.K, perClient, runtime.GOMAXPROCS(0))
 	cfg.printf("partitions  clients  qps        p50        p99        lock_waits  speedup_x\n")
@@ -49,7 +55,7 @@ func runQPS(cfg *Config) error {
 			return err
 		}
 		var base float64
-		for _, clients := range cfg.Clients {
+		for _, clients := range clientCounts {
 			if err := core.WarmUp(gen, ds, p.K, 4); err != nil {
 				return err
 			}
@@ -59,7 +65,7 @@ func runQPS(cfg *Config) error {
 				return err
 			}
 			waits := pool.Stats().LockWaits - waits0
-			if clients == cfg.Clients[0] {
+			if clients == clientCounts[0] {
 				base = res.QPS
 			}
 			speedup := 0.0

@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"vecstudy/internal/client"
+	"vecstudy/internal/core"
+	"vecstudy/internal/server"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "qps_remote",
+		Title: "Remote top-k serving over loopback: network-path QPS and tail latency vs the in-process numbers",
+		Paper: "beyond the paper: its harness links the engine in-process; production serving pays parse + wire + session costs, measured here instead of guessed",
+		Run:   runQPSRemote,
+	})
+}
+
+// runQPSRemote reruns the qps sweep with the engine behind the serving
+// layer: one vdb server on loopback, N client connections each issuing
+// the same top-k SELECT the in-process workload runs through the SQL
+// layer. Every row pairs the in-process QPS with the remote QPS, so the
+// serving overhead (statement parse, wire round-trip, session dispatch)
+// is measured rather than guessed.
+func runQPSRemote(cfg *Config) error {
+	ds, err := cfg.Dataset(cfg.Datasets[0], 10)
+	if err != nil {
+		return err
+	}
+	p := core.Defaults(ds)
+	p.K = 10
+	p.BufferPartitions = 1
+	gen, _, err := core.BuildGeneralized(core.IVFFlat, ds, p)
+	if err != nil {
+		return err
+	}
+	defer gen.Close()
+
+	perClient := cfg.Queries
+	if perClient <= 0 {
+		perClient = 100
+	}
+	clientCounts := append([]int(nil), cfg.Clients...)
+	maxClients := 0
+	for _, c := range clientCounts {
+		if c > maxClients {
+			maxClients = c
+		}
+	}
+
+	srv := server.New(gen.DB(), server.Config{
+		MaxActive:    maxClients + 4,
+		QueueDepth:   maxClients,
+		QueryTimeout: time.Minute,
+	})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		return err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	addr := srv.Addr().String()
+
+	// Pre-render every query as SQL text once; per-query formatting cost
+	// must not pollute the serving measurement.
+	sqls := make([]string, ds.NQ())
+	for q := range sqls {
+		sqls[q] = searchSQL(ds.Queries.Row(q), p.K)
+	}
+
+	cfg.printf("dataset=%s index=ivf_flat nprobe=%d k=%d queries_per_client=%d gomaxprocs=%d server=%s\n",
+		ds.Name, p.NProbe, p.K, perClient, runtime.GOMAXPROCS(0), addr)
+	cfg.printf("partitions  clients  inproc_qps  remote_qps  net_overhead  remote_p50  remote_p99\n")
+	for _, parts := range []int{1, 16} {
+		if err := gen.DB().SetBufferPartitions(parts); err != nil {
+			return err
+		}
+		for _, clients := range clientCounts {
+			if err := core.WarmUp(gen, ds, p.K, 4); err != nil {
+				return err
+			}
+			inproc, err := core.RunSearchConcurrent(gen, ds, p.K, clients, perClient)
+			if err != nil {
+				return err
+			}
+			remote, err := runRemoteClients(addr, clients, perClient, p.NProbe, sqls)
+			if err != nil {
+				return err
+			}
+			overhead := 0.0
+			if remote.QPS > 0 {
+				overhead = inproc.QPS/remote.QPS - 1
+			}
+			cfg.printf("%-11d %-8d %-11.1f %-11.1f %-13s %-11v %v\n",
+				parts, clients, inproc.QPS, remote.QPS,
+				fmt.Sprintf("%.0f%%", 100*overhead),
+				remote.P50.Round(time.Microsecond), remote.P99.Round(time.Microsecond))
+		}
+	}
+	st := srv.Stats()
+	cfg.printf("# server stats: accepted=%d queries=%d errors=%d rejected=%d p50=%v p99=%v\n",
+		st.Accepted, st.Queries, st.Errors, st.Rejected, st.P50, st.P99)
+	cfg.printf("# net_overhead = inproc_qps/remote_qps - 1: the cost of parse + wire framing + loopback TCP + session dispatch.\n")
+	return nil
+}
+
+// runRemoteClients opens one connection per client (each pinned to its
+// own session, with the scan knob SET once up front) and drives the
+// query mix through the serving layer.
+func runRemoteClients(addr string, clients, perClient, nprobe int, sqls []string) (core.ConcurrentResult, error) {
+	conns := make([]*client.Conn, clients)
+	defer func() {
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+	for i := range conns {
+		c, err := client.Dial(addr)
+		if err != nil {
+			return core.ConcurrentResult{}, err
+		}
+		conns[i] = c
+		if _, err := c.Execute(fmt.Sprintf("SET nprobe = %d", nprobe)); err != nil {
+			return core.ConcurrentResult{}, err
+		}
+	}
+	return core.RunConcurrent(clients, perClient, func(c, i int) error {
+		res, err := conns[c].Execute(sqls[(c*perClient+i)%len(sqls)])
+		if err != nil {
+			return err
+		}
+		if len(res.Rows) == 0 {
+			return fmt.Errorf("bench: remote query returned no rows")
+		}
+		return nil
+	})
+}
+
+// searchSQL renders one top-k search as the SQL the serving layer
+// parses, against the table BuildGeneralized loads ("t", column "vec").
+func searchSQL(query []float32, k int) string {
+	var b strings.Builder
+	b.WriteString("SELECT id, distance FROM t ORDER BY vec <-> '{")
+	for i, v := range query {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatFloat(float64(v), 'g', -1, 32))
+	}
+	b.WriteString("}' LIMIT ")
+	b.WriteString(strconv.Itoa(k))
+	return b.String()
+}

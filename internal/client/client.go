@@ -1,0 +1,79 @@
+// Package client is the Go client for the serving layer: dial a vdb
+// server, execute SQL, read typed results over internal/wire.
+//
+// A Conn is a plain sequential protocol endpoint: one request, one
+// response. It is safe for exactly one goroutine — open one Conn per
+// worker (connection reuse across queries is cheap; sharing one across
+// goroutines is not supported, matching libpq's PGconn contract).
+package client
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"vecstudy/internal/wire"
+)
+
+// Conn is one client connection.
+type Conn struct {
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+// Dial connects to a vdb server at addr (host:port).
+func Dial(addr string) (*Conn, error) {
+	return DialTimeout(addr, 10*time.Second)
+}
+
+// DialTimeout connects with a connect timeout.
+func DialTimeout(addr string, timeout time.Duration) (*Conn, error) {
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	return &Conn{
+		c:  c,
+		br: bufio.NewReaderSize(c, 64<<10),
+		bw: bufio.NewWriterSize(c, 64<<10),
+	}, nil
+}
+
+// Execute runs one SQL statement and returns its full result. A
+// statement the server rejects (parse/execution error, admission
+// rejection, timeout) is returned as a *wire.Error; transport failures
+// are plain errors.
+func (c *Conn) Execute(sqlText string) (*wire.Result, error) {
+	if err := c.send(wire.TQuery, wire.EncodeQuery(sqlText)); err != nil {
+		return nil, err
+	}
+	res, err := wire.ReadResult(c.br)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Ping round-trips a liveness probe.
+func (c *Conn) Ping() error {
+	if err := c.send(wire.TPing, nil); err != nil {
+		return err
+	}
+	_, err := wire.ReadResult(c.br)
+	return err
+}
+
+func (c *Conn) send(t wire.Type, payload []byte) error {
+	if err := wire.WriteFrame(c.bw, t, payload); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// Close says goodbye (best effort) and closes the connection.
+func (c *Conn) Close() error {
+	c.send(wire.TTerminate, nil)
+	return c.c.Close()
+}

@@ -58,12 +58,12 @@ type ConcurrentResult struct {
 	P99     time.Duration
 }
 
-// RunSearchConcurrent drives the index from clients goroutines, each
-// issuing perClient top-k searches round-robin over the dataset's query
-// set, and reports aggregate QPS plus per-query latency percentiles.
-// The index is shared: this measures inter-query concurrency (buffer
-// pool contention included), not intra-query threading.
-func RunSearchConcurrent(ix Index, ds *dataset.Dataset, k, clients, perClient int) (ConcurrentResult, error) {
+// RunConcurrent drives an arbitrary per-request operation from clients
+// goroutines, each issuing perClient sequential requests, and reports
+// aggregate QPS plus per-request latency percentiles. op(c, i) runs
+// request i of client c; the in-process and remote QPS benchmarks share
+// this driver so their numbers are directly comparable.
+func RunConcurrent(clients, perClient int, op func(c, i int) error) (ConcurrentResult, error) {
 	res := ConcurrentResult{Clients: clients, Queries: clients * perClient}
 	if clients < 1 || perClient < 1 {
 		return res, fmt.Errorf("core: concurrent run needs clients and queries >= 1")
@@ -78,10 +78,9 @@ func RunSearchConcurrent(ix Index, ds *dataset.Dataset, k, clients, perClient in
 			defer wg.Done()
 			own := make([]time.Duration, 0, perClient)
 			for i := 0; i < perClient; i++ {
-				q := (c*perClient + i) % ds.NQ()
 				t0 := time.Now()
-				if _, err := ix.Search(ds.Queries.Row(q), k); err != nil {
-					errs[c] = fmt.Errorf("core: client %d query %d: %w", c, q, err)
+				if err := op(c, i); err != nil {
+					errs[c] = fmt.Errorf("core: client %d request %d: %w", c, i, err)
 					return
 				}
 				own = append(own, time.Since(t0))
@@ -105,6 +104,18 @@ func RunSearchConcurrent(ix Index, ds *dataset.Dataset, k, clients, perClient in
 	res.P50 = percentile(all, 0.50)
 	res.P99 = percentile(all, 0.99)
 	return res, nil
+}
+
+// RunSearchConcurrent drives the index from clients goroutines, each
+// issuing perClient top-k searches round-robin over the dataset's query
+// set. The index is shared: this measures inter-query concurrency
+// (buffer pool contention included), not intra-query threading.
+func RunSearchConcurrent(ix Index, ds *dataset.Dataset, k, clients, perClient int) (ConcurrentResult, error) {
+	return RunConcurrent(clients, perClient, func(c, i int) error {
+		q := (c*perClient + i) % ds.NQ()
+		_, err := ix.Search(ds.Queries.Row(q), k)
+		return err
+	})
 }
 
 // percentile returns the p-quantile of sorted latencies (nearest-rank).

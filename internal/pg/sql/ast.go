@@ -67,7 +67,8 @@ type ExplainStmt struct {
 	Inner Stmt
 }
 
-// ShowStmt is SHOW name.
+// ShowStmt is SHOW name, or SHOW ALL (Name == "all") listing every
+// recognized setting with its effective value.
 type ShowStmt struct {
 	Name string
 }

@@ -18,6 +18,41 @@ import (
 // 1 restores the paper's single-lock pool.
 const BufferPartitionsSetting = "buffer_partitions"
 
+// Setting describes one recognized session knob.
+type Setting struct {
+	Name    string
+	Default string // effective value when the session has not SET it
+	Desc    string
+}
+
+// knownSettings is the closed list of knobs SET and SHOW accept, in
+// SHOW ALL order. The scan-time defaults mirror the access methods'
+// own fallbacks (pase.OptInt defaults).
+var knownSettings = []Setting{
+	{BufferPartitionsSetting, "", "buffer-mapping partitions of the shared pool (1 = paper's single lock)"},
+	{"efs", "200", "hnsw: search queue length"},
+	{"heap", "n", "ivfflat: top-k heap policy, n (PASE size-n, RC#6) or k (size-k)"},
+	{"nprobe", "20", "ivf: clusters probed per query"},
+	{"threads", "1", "intra-query scan parallelism"},
+}
+
+// KnownSettings returns the recognized session knobs (for SHOW ALL and
+// external tooling).
+func KnownSettings() []Setting {
+	out := make([]Setting, len(knownSettings))
+	copy(out, knownSettings)
+	return out
+}
+
+func lookupSetting(name string) (Setting, bool) {
+	for _, s := range knownSettings {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Setting{}, false
+}
+
 // Session executes statements against a database and carries session
 // settings (scan parameters like nprobe, efs, threads — PASE exposes the
 // same knobs through GUCs).
@@ -31,8 +66,44 @@ func NewSession(d *db.DB) *Session {
 	return &Session{db: d, settings: map[string]string{}}
 }
 
-// Set overrides one session setting programmatically.
-func (s *Session) Set(name, value string) { s.settings[name] = value }
+// Set overrides one session setting programmatically. It validates the
+// knob name against the same known-settings list the SET statement uses
+// and returns an error for unknown knobs.
+func (s *Session) Set(name, value string) error { return s.applySet(name, value) }
+
+// applySet is the single SET path shared by Set and the SET statement.
+func (s *Session) applySet(name, value string) error {
+	if name == BufferPartitionsSetting {
+		n, err := strconv.Atoi(value)
+		if err != nil {
+			return fmt.Errorf("sql: SET %s expects an integer: %w", BufferPartitionsSetting, err)
+		}
+		if err := s.db.SetBufferPartitions(n); err != nil {
+			return err
+		}
+		// Record the clamped, effective value, not the request.
+		s.settings[name] = strconv.Itoa(s.db.Pool().Partitions())
+		return nil
+	}
+	if _, ok := lookupSetting(name); !ok {
+		return fmt.Errorf("sql: unrecognized setting %q (SHOW ALL lists the known settings)", name)
+	}
+	s.settings[name] = value
+	return nil
+}
+
+// effective resolves a known setting to its current value: the session
+// override if SET, otherwise the default (the pool's live partition
+// count for buffer_partitions).
+func (s *Session) effective(st Setting) string {
+	if st.Name == BufferPartitionsSetting {
+		return strconv.Itoa(s.db.Pool().Partitions())
+	}
+	if v, ok := s.settings[st.Name]; ok {
+		return v
+	}
+	return st.Default
+}
 
 // Result is the outcome of one statement.
 type Result struct {
@@ -65,25 +136,23 @@ func (s *Session) run(stmt Stmt) (*Result, error) {
 		}
 		return &Result{Msg: "CREATE INDEX"}, nil
 	case *SetStmt:
-		if st.Name == BufferPartitionsSetting {
-			n, err := strconv.Atoi(st.Value)
-			if err != nil {
-				return nil, fmt.Errorf("sql: SET %s expects an integer: %w", BufferPartitionsSetting, err)
-			}
-			if err := s.db.SetBufferPartitions(n); err != nil {
-				return nil, err
-			}
-			// Record the clamped, effective value, not the request.
-			s.settings[st.Name] = strconv.Itoa(s.db.Pool().Partitions())
-			return &Result{Msg: "SET"}, nil
+		if err := s.applySet(st.Name, st.Value); err != nil {
+			return nil, err
 		}
-		s.settings[st.Name] = st.Value
 		return &Result{Msg: "SET"}, nil
 	case *ShowStmt:
-		if st.Name == BufferPartitionsSetting {
-			return &Result{Cols: []string{st.Name}, Rows: [][]any{{strconv.Itoa(s.db.Pool().Partitions())}}}, nil
+		if st.Name == "all" {
+			res := &Result{Cols: []string{"name", "setting", "description"}}
+			for _, known := range knownSettings {
+				res.Rows = append(res.Rows, []any{known.Name, s.effective(known), known.Desc})
+			}
+			return res, nil
 		}
-		return &Result{Cols: []string{st.Name}, Rows: [][]any{{s.settings[st.Name]}}}, nil
+		known, ok := lookupSetting(st.Name)
+		if !ok {
+			return nil, fmt.Errorf("sql: unrecognized setting %q (SHOW ALL lists the known settings)", st.Name)
+		}
+		return &Result{Cols: []string{st.Name}, Rows: [][]any{{s.effective(known)}}}, nil
 	case *SelectStmt:
 		return s.runSelect(st)
 	case *ExplainStmt:

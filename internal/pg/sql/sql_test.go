@@ -145,6 +145,90 @@ func TestSetAndShow(t *testing.T) {
 	}
 }
 
+func TestSetRejectsUnknownKnob(t *testing.T) {
+	s := newSession(t)
+	if _, err := s.Execute("SET nprobes = 10"); err == nil {
+		t.Error("SET of a misspelled knob accepted")
+	}
+	if err := s.Set("wibble", "1"); err == nil {
+		t.Error("Session.Set of an unknown knob accepted")
+	}
+	if err := s.Set("nprobe", "10"); err != nil {
+		t.Errorf("Session.Set(nprobe) rejected: %v", err)
+	}
+	res := mustExec(t, s, "SHOW nprobe")
+	if res.Rows[0][0].(string) != "10" {
+		t.Errorf("SHOW nprobe after Set = %v", res.Rows[0][0])
+	}
+}
+
+func TestShowRejectsUnknownSetting(t *testing.T) {
+	s := newSession(t)
+	if _, err := s.Execute("SHOW wibble"); err == nil {
+		t.Error("SHOW of an unknown setting accepted")
+	}
+}
+
+func TestShowAll(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, "SET efs = 321")
+	res := mustExec(t, s, "SHOW ALL")
+	if len(res.Cols) != 3 || res.Cols[0] != "name" {
+		t.Fatalf("SHOW ALL cols = %v", res.Cols)
+	}
+	if len(res.Rows) != len(KnownSettings()) {
+		t.Fatalf("SHOW ALL lists %d settings, want %d", len(res.Rows), len(KnownSettings()))
+	}
+	got := map[string]string{}
+	for _, row := range res.Rows {
+		got[row[0].(string)] = row[1].(string)
+	}
+	if got["efs"] != "321" {
+		t.Errorf("SHOW ALL efs = %q after SET, want 321", got["efs"])
+	}
+	if got["nprobe"] != "20" {
+		t.Errorf("SHOW ALL nprobe default = %q, want 20", got["nprobe"])
+	}
+	if got[BufferPartitionsSetting] == "" {
+		t.Errorf("SHOW ALL %s empty, want live pool partition count", BufferPartitionsSetting)
+	}
+}
+
+func TestSelectUnknownColumn(t *testing.T) {
+	s := newSession(t)
+	loadVectors(t, s, 5)
+	for _, q := range []string{
+		"SELECT nope FROM t",
+		"SELECT id FROM t WHERE nope = 1",
+		"SELECT id FROM t ORDER BY nope <-> '{1,2,3,4}' LIMIT 1",
+		"SELECT id FROM t ORDER BY id <-> '{1,2,3,4}' LIMIT 1", // not a vector column
+	} {
+		if _, err := s.Execute(q); err == nil {
+			t.Errorf("no error for: %s", q)
+		}
+	}
+}
+
+func TestInsertTypeMismatch(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, "CREATE TABLE m (a int, b bigint, c real, d text, e float[])")
+	for _, q := range []string{
+		"INSERT INTO m VALUES ('x', 2, 3.5, 'ok', '{1,2}')",   // string into int
+		"INSERT INTO m VALUES (1, 'x', 3.5, 'ok', '{1,2}')",   // string into bigint
+		"INSERT INTO m VALUES (1, 2, 'x', 'ok', '{1,2}')",     // string into real
+		"INSERT INTO m VALUES (1, 2, 3.5, 4, '{1,2}')",        // number into text
+		"INSERT INTO m VALUES (1, 2, 3.5, 'ok', 9)",           // number into vector
+		"INSERT INTO m VALUES (1, 2, 3.5, 'ok', 'not a vec')", // non-vector string
+	} {
+		if _, err := s.Execute(q); err == nil {
+			t.Errorf("no error for: %s", q)
+		}
+	}
+	if res := mustExec(t, s, "SELECT count(*) FROM m"); res.Rows[0][0].(int64) != 0 {
+		t.Errorf("failed INSERTs left %v rows", res.Rows[0][0])
+	}
+}
+
 func TestSetBufferPartitions(t *testing.T) {
 	s := newSession(t)
 	loadVectors(t, s, 50)

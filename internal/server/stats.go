@@ -1,0 +1,90 @@
+package server
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets is the size of the power-of-two latency histogram:
+// bucket i counts queries with latency < 2^i microseconds, so the top
+// bucket covers everything beyond ~134s.
+const latencyBuckets = 28
+
+// stats is the server's hot-path instrumentation: plain atomics, no
+// locks on the serving path.
+type stats struct {
+	accepted atomic.Int64
+	active   atomic.Int64
+	queued   atomic.Int64
+	rejected atomic.Int64
+	queries  atomic.Int64
+	errors   atomic.Int64
+	timeouts atomic.Int64
+	hist     [latencyBuckets]atomic.Int64
+}
+
+func (st *stats) observe(d time.Duration) {
+	us := uint64(d / time.Microsecond)
+	b := bits.Len64(us) // 0µs → bucket 0, 1µs → 1, 2-3µs → 2, ...
+	if b >= latencyBuckets {
+		b = latencyBuckets - 1
+	}
+	st.hist[b].Add(1)
+}
+
+// Stats is a point-in-time snapshot of serving activity.
+type Stats struct {
+	Accepted int64 // connections accepted since start
+	Active   int64 // connections currently holding a slot
+	Queued   int64 // connections currently waiting for a slot
+	Rejected int64 // connections turned away (queue full or queue wait expired)
+	Queries  int64 // statements answered successfully
+	Errors   int64 // statements answered with an error
+	Timeouts int64 // statements abandoned at the query timeout
+
+	// P50 and P99 are per-query latency percentiles estimated from a
+	// power-of-two histogram (each reported as its bucket's upper
+	// bound), over every successful query since start.
+	P50 time.Duration
+	P99 time.Duration
+}
+
+// Stats snapshots the counters and estimates latency percentiles.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Accepted: s.stats.accepted.Load(),
+		Active:   s.stats.active.Load(),
+		Queued:   s.stats.queued.Load(),
+		Rejected: s.stats.rejected.Load(),
+		Queries:  s.stats.queries.Load(),
+		Errors:   s.stats.errors.Load(),
+		Timeouts: s.stats.timeouts.Load(),
+	}
+	var counts [latencyBuckets]int64
+	var total int64
+	for i := range counts {
+		counts[i] = s.stats.hist[i].Load()
+		total += counts[i]
+	}
+	st.P50 = histPercentile(counts, total, 0.50)
+	st.P99 = histPercentile(counts, total, 0.99)
+	return st
+}
+
+// histPercentile returns the upper bound of the bucket containing the
+// p-quantile observation.
+func histPercentile(counts [latencyBuckets]int64, total int64, p float64) time.Duration {
+	if total == 0 {
+		return 0
+	}
+	rank := int64(p*float64(total-1)) + 1
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			return time.Duration(uint64(1)<<uint(i)) * time.Microsecond
+		}
+	}
+	return time.Duration(uint64(1)<<uint(latencyBuckets-1)) * time.Microsecond
+}
