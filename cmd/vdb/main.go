@@ -69,11 +69,22 @@ func main() {
 	defer d.Close()
 
 	if *listen != "" {
-		os.Exit(runServer(d, *listen, server.Config{
+		code := runServer(d, *listen, server.Config{
 			MaxActive:    *maxConns,
 			QueueDepth:   *queueLen,
 			QueryTimeout: *qTimeout,
-		}))
+		})
+		// os.Exit skips the deferred Close, and Close is what flushes
+		// dirty pool pages and the catalog — a file-backed server must
+		// checkpoint here or a graceful drain still loses committed
+		// writes.
+		if err := d.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "vdb: close: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+		os.Exit(code)
 	}
 
 	sess := sql.NewSession(d)

@@ -18,9 +18,11 @@ import (
 
 // Conn is one client connection.
 type Conn struct {
-	c  net.Conn
-	br *bufio.Reader
-	bw *bufio.Writer
+	c           net.Conn
+	br          *bufio.Reader
+	bw          *bufio.Writer
+	dialTimeout time.Duration
+	readTimeout time.Duration
 }
 
 // Dial connects to a vdb server at addr (host:port).
@@ -28,17 +30,38 @@ func Dial(addr string) (*Conn, error) {
 	return DialTimeout(addr, 10*time.Second)
 }
 
-// DialTimeout connects with a connect timeout.
+// DialTimeout connects with a connect timeout. The same timeout bounds
+// Ping responses, so a hung server fails the probe instead of blocking
+// it forever.
 func DialTimeout(addr string, timeout time.Duration) (*Conn, error) {
 	c, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
 	return &Conn{
-		c:  c,
-		br: bufio.NewReaderSize(c, 64<<10),
-		bw: bufio.NewWriterSize(c, 64<<10),
+		c:           c,
+		br:          bufio.NewReaderSize(c, 64<<10),
+		bw:          bufio.NewWriterSize(c, 64<<10),
+		dialTimeout: timeout,
 	}, nil
+}
+
+// SetReadTimeout bounds how long Execute and Ping wait for a response
+// (0, the default for Execute, waits as long as the server takes — the
+// server enforces its own per-query timeout). A Conn whose read timed
+// out may have a partial frame buffered and must be closed, like a
+// query-timeout rejection.
+func (c *Conn) SetReadTimeout(d time.Duration) { c.readTimeout = d }
+
+// readResult reads one result, bounded by timeout when it is > 0.
+func (c *Conn) readResult(timeout time.Duration) (*wire.Result, error) {
+	if timeout > 0 {
+		if err := c.c.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, err
+		}
+		defer c.c.SetReadDeadline(time.Time{})
+	}
+	return wire.ReadResult(c.br)
 }
 
 // Execute runs one SQL statement and returns its full result. A
@@ -49,19 +72,25 @@ func (c *Conn) Execute(sqlText string) (*wire.Result, error) {
 	if err := c.send(wire.TQuery, wire.EncodeQuery(sqlText)); err != nil {
 		return nil, err
 	}
-	res, err := wire.ReadResult(c.br)
+	res, err := c.readResult(c.readTimeout)
 	if err != nil {
 		return nil, err
 	}
 	return res, nil
 }
 
-// Ping round-trips a liveness probe.
+// Ping round-trips a liveness probe. Unlike Execute it always runs
+// under a read deadline (SetReadTimeout if set, else the dial timeout):
+// a liveness probe that can hang is not a liveness probe.
 func (c *Conn) Ping() error {
 	if err := c.send(wire.TPing, nil); err != nil {
 		return err
 	}
-	_, err := wire.ReadResult(c.br)
+	timeout := c.readTimeout
+	if timeout <= 0 {
+		timeout = c.dialTimeout
+	}
+	_, err := c.readResult(timeout)
 	return err
 }
 

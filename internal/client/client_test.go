@@ -1,0 +1,70 @@
+package client
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// silentServer accepts connections and swallows input without ever
+// answering — the shape of a hung or half-dead server.
+func silentServer(t *testing.T) net.Addr {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				buf := make([]byte, 1024)
+				for {
+					if _, err := conn.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return lis.Addr()
+}
+
+func TestPingTimesOutAgainstSilentServer(t *testing.T) {
+	addr := silentServer(t)
+	c, err := DialTimeout(addr.String(), 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	if err := c.Ping(); err == nil {
+		t.Fatal("ping against a silent server returned nil")
+	}
+	// The probe must come back around the dial timeout, not hang.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("ping took %v, want ~150ms", elapsed)
+	}
+}
+
+func TestExecuteHonorsReadTimeout(t *testing.T) {
+	addr := silentServer(t)
+	c, err := DialTimeout(addr.String(), 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetReadTimeout(150 * time.Millisecond)
+	start := time.Now()
+	if _, err := c.Execute("SELECT 1"); err == nil {
+		t.Fatal("execute against a silent server returned nil")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("execute took %v, want ~150ms", elapsed)
+	}
+}

@@ -159,6 +159,7 @@ func (s *Server) handle(conn net.Conn) {
 func (s *Server) admit(conn net.Conn) bool {
 	select {
 	case <-s.draining:
+		s.stats.rejected.Add(1)
 		s.reject(conn, wire.CodeShutdown, "server is shutting down")
 		return false
 	default:
@@ -189,6 +190,7 @@ func (s *Server) admit(conn net.Conn) bool {
 		return false
 	case <-s.draining:
 		s.stats.queued.Add(-1)
+		s.stats.rejected.Add(1)
 		s.reject(conn, wire.CodeShutdown, "server is shutting down")
 		return false
 	}

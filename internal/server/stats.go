@@ -38,7 +38,7 @@ type Stats struct {
 	Accepted int64 // connections accepted since start
 	Active   int64 // connections currently holding a slot
 	Queued   int64 // connections currently waiting for a slot
-	Rejected int64 // connections turned away (queue full or queue wait expired)
+	Rejected int64 // connections turned away (queue full, queue wait expired, or drain began)
 	Queries  int64 // statements answered successfully
 	Errors   int64 // statements answered with an error
 	Timeouts int64 // statements abandoned at the query timeout

@@ -150,14 +150,18 @@ func DecodeQuery(p []byte) string { return string(p) }
 // --- ResultHeader ---------------------------------------------------------
 
 // EncodeHeader encodes a THeader payload: the utility message and the
-// column names.
-func EncodeHeader(msg string, cols []string) []byte {
+// column names. The column count travels as a uint16, so wider headers
+// fail fast instead of truncating and mis-decoding on the peer.
+func EncodeHeader(msg string, cols []string) ([]byte, error) {
+	if len(cols) > math.MaxUint16 {
+		return nil, fmt.Errorf("wire: %d columns exceeds max %d", len(cols), math.MaxUint16)
+	}
 	b := appendString(nil, msg)
 	b = binary.BigEndian.AppendUint16(b, uint16(len(cols)))
 	for _, c := range cols {
 		b = appendString(b, c)
 	}
-	return b
+	return b, nil
 }
 
 // DecodeHeader decodes a THeader payload.
@@ -200,6 +204,9 @@ const (
 // types are exactly those the SQL executor produces: nil, int32, int64,
 // float32, float64, string, []float32.
 func EncodeRow(vals []any) ([]byte, error) {
+	if len(vals) > math.MaxUint16 {
+		return nil, fmt.Errorf("wire: %d row values exceeds max %d", len(vals), math.MaxUint16)
+	}
 	b := binary.BigEndian.AppendUint16(nil, uint16(len(vals)))
 	for _, v := range vals {
 		switch x := v.(type) {
@@ -342,7 +349,11 @@ func DecodeError(p []byte) (*Error, error) {
 
 // WriteResult writes a full successful result: header, rows, done.
 func WriteResult(w io.Writer, res *Result) error {
-	if err := WriteFrame(w, THeader, EncodeHeader(res.Msg, res.Cols)); err != nil {
+	hdr, err := EncodeHeader(res.Msg, res.Cols)
+	if err != nil {
+		return err
+	}
+	if err := WriteFrame(w, THeader, hdr); err != nil {
 		return err
 	}
 	for _, row := range res.Rows {

@@ -76,7 +76,11 @@ func TestHeaderRoundTrip(t *testing.T) {
 		{"", []string{"id", "distance"}},
 		{"SET", []string{}},
 	} {
-		msg, cols, err := DecodeHeader(EncodeHeader(tc.msg, tc.cols))
+		p, err := EncodeHeader(tc.msg, tc.cols)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		msg, cols, err := DecodeHeader(p)
 		if err != nil {
 			t.Fatalf("%+v: %v", tc, err)
 		}
@@ -117,6 +121,24 @@ func TestRowRoundTripAllTypes(t *testing.T) {
 func TestRowRejectsUnknownType(t *testing.T) {
 	if _, err := EncodeRow([]any{struct{}{}}); err == nil {
 		t.Error("struct value encoded without error")
+	}
+}
+
+func TestEncodeRejectsUint16Overflow(t *testing.T) {
+	// Counts travel as uint16; one past the max must fail fast rather
+	// than truncate and mis-decode on the peer.
+	if _, err := EncodeHeader("", make([]string, math.MaxUint16+1)); err == nil ||
+		!strings.Contains(err.Error(), "exceeds max") {
+		t.Errorf("oversized header err = %v", err)
+	}
+	if _, err := EncodeRow(make([]any, math.MaxUint16+1)); err == nil ||
+		!strings.Contains(err.Error(), "exceeds max") {
+		t.Errorf("oversized row err = %v", err)
+	}
+	if p, err := EncodeHeader("", make([]string, math.MaxUint16)); err != nil {
+		t.Errorf("header at the limit rejected: %v", err)
+	} else if _, cols, err := DecodeHeader(p); err != nil || len(cols) != math.MaxUint16 {
+		t.Errorf("header at the limit round trip: %d cols, %v", len(cols), err)
 	}
 }
 
