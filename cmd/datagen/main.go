@@ -6,6 +6,14 @@
 //
 // produces data/sift1m_base.fvecs, data/sift1m_query.fvecs, and
 // data/sift1m_groundtruth.ivecs.
+//
+// With -shard i/N the base file holds only the rows shard i owns under
+// the cluster layer's modulo placement (row index mod N == i), named
+// sift1m_base.shard0of2.fvecs. The N shard files partition the full
+// base set: every shard regenerates the identical dataset from the
+// same seed and filters its own slice, so the loads are disjoint and
+// reproducible without coordination. Queries and ground truth are
+// always global (they describe the union) and are emitted unchanged.
 package main
 
 import (
@@ -15,6 +23,7 @@ import (
 	"path/filepath"
 
 	"vecstudy/internal/dataset"
+	"vecstudy/internal/vec"
 )
 
 func main() {
@@ -24,8 +33,17 @@ func main() {
 		seed    = flag.Int64("seed", 42, "generator seed")
 		k       = flag.Int("k", 100, "ground-truth neighbors per query")
 		out     = flag.String("out", ".", "output directory")
+		shard   = flag.String("shard", "", "emit one shard's base slice, as \"i/N\" (modulo placement: row mod N == i)")
 	)
 	flag.Parse()
+
+	shardIdx, shardN := -1, 0
+	if *shard != "" {
+		if _, err := fmt.Sscanf(*shard, "%d/%d", &shardIdx, &shardN); err != nil ||
+			shardN < 1 || shardIdx < 0 || shardIdx >= shardN {
+			fatal(fmt.Errorf("bad -shard %q, want i/N with 0 <= i < N", *shard))
+		}
+	}
 
 	p, err := dataset.ProfileByName(*profile)
 	if err != nil {
@@ -35,13 +53,28 @@ func main() {
 	fmt.Printf("generated %s: %d base, %d query, dim %d\n", ds.Name, ds.N(), ds.NQ(), ds.Dim)
 	ds.ComputeGroundTruth(*k, 0)
 
+	baseVecs := ds.Base
+	baseName := ds.Name + "_base.fvecs"
+	if shardN > 0 {
+		baseVecs = vec.NewFlat(ds.Dim, (ds.N()+shardN-1)/shardN)
+		for i := shardIdx; i < ds.N(); i += shardN {
+			baseVecs.Append(ds.Base.Row(i))
+		}
+		baseName = fmt.Sprintf("%s_base.shard%dof%d.fvecs", ds.Name, shardIdx, shardN)
+		// fvecs carries no ids: shard row j here is global row
+		// j*shardN + shardIdx, which is what a loader must INSERT as the
+		// id for the router's placement (and ground truth) to line up.
+		fmt.Printf("shard %d/%d: %d base rows (global ids i with i %% %d == %d)\n",
+			shardIdx, shardN, baseVecs.N(), shardN, shardIdx)
+	}
+
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
-	base := filepath.Join(*out, ds.Name+"_base.fvecs")
+	base := filepath.Join(*out, baseName)
 	query := filepath.Join(*out, ds.Name+"_query.fvecs")
 	gt := filepath.Join(*out, ds.Name+"_groundtruth.ivecs")
-	if err := dataset.WriteFvecs(base, ds.Base); err != nil {
+	if err := dataset.WriteFvecs(base, baseVecs); err != nil {
 		fatal(err)
 	}
 	if err := dataset.WriteFvecs(query, ds.Queries); err != nil {

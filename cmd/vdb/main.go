@@ -18,6 +18,15 @@
 //	vdb -listen :5462            serve the database over TCP
 //	vdb -connect host:5462       remote shell against a running server
 //	vdb -connect host:5462 -ping liveness probe (exit 0 = serving)
+//
+// Router mode fronts a sharded cluster instead of a local database:
+//
+//	vdb -listen :5480 -route -shards "h1:5462,h2:5462;h3:5462"
+//
+// serves the same wire protocol, but scatter-gathers each query across
+// the shard servers (';' separates shards, ',' separates a shard's
+// replicas). SHOW server_stats additionally reports the router's
+// fanout/retry/failover/degraded counters.
 package main
 
 import (
@@ -32,6 +41,7 @@ import (
 	"time"
 
 	"vecstudy/internal/client"
+	"vecstudy/internal/cluster"
 	_ "vecstudy/internal/pase/all"
 	"vecstudy/internal/pg/db"
 	"vecstudy/internal/pg/sql"
@@ -50,6 +60,10 @@ func main() {
 		maxConns = flag.Int("max-conns", 64, "with -listen: concurrently served connections")
 		queueLen = flag.Int("queue", 128, "with -listen: admission queue depth beyond -max-conns")
 		qTimeout = flag.Duration("query-timeout", 30*time.Second, "with -listen: per-statement timeout")
+		route    = flag.Bool("route", false, "with -listen: serve as a cluster router instead of a local database")
+		shards   = flag.String("shards", "", "with -route: shard map, ';' between shards, ',' between a shard's replicas")
+		partial  = flag.Bool("partial", true, "with -route: answer with DEGRADED partial results when a whole shard is unreachable")
+		shardTO  = flag.Duration("shard-deadline", 10*time.Second, "with -route: per-shard subquery deadline")
 	)
 	flag.Parse()
 
@@ -59,6 +73,30 @@ func main() {
 	if *ping {
 		fmt.Fprintln(os.Stderr, "vdb: -ping requires -connect")
 		os.Exit(2)
+	}
+
+	if *route {
+		if *listen == "" || *shards == "" {
+			fmt.Fprintln(os.Stderr, "vdb: -route requires -listen and -shards")
+			os.Exit(2)
+		}
+		m, err := cluster.ParseShardMap(*shards)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vdb: %v\n", err)
+			os.Exit(2)
+		}
+		router := cluster.NewRouter(m, cluster.Config{
+			ShardDeadline: *shardTO,
+			Partial:       *partial,
+		})
+		defer router.Close()
+		srv := server.NewWithBackend(router, server.Config{
+			MaxActive:    *maxConns,
+			QueueDepth:   *queueLen,
+			QueryTimeout: *qTimeout,
+		})
+		desc := fmt.Sprintf("routing %d shard(s), %d replica(s)", m.NumShards(), m.NumReplicas())
+		os.Exit(serve(srv, *listen, desc))
 	}
 
 	d, err := db.Open(db.Config{Dir: *dir, PageSize: *pageSize, EnableWAL: *enWAL})
@@ -101,15 +139,20 @@ func main() {
 	}
 }
 
-// runServer serves until SIGINT/SIGTERM, then drains gracefully.
+// runServer serves a local database until SIGINT/SIGTERM.
 func runServer(d *db.DB, addr string, cfg server.Config) int {
-	srv := server.New(d, cfg)
+	desc := fmt.Sprintf("max-conns=%d queue=%d query-timeout=%v", cfg.MaxActive, cfg.QueueDepth, cfg.QueryTimeout)
+	return serve(server.New(d, cfg), addr, desc)
+}
+
+// serve runs one serving-layer instance (local database or cluster
+// router) until SIGINT/SIGTERM, then drains gracefully.
+func serve(srv *server.Server, addr, desc string) int {
 	if err := srv.Start(addr); err != nil {
 		fmt.Fprintf(os.Stderr, "vdb: %v\n", err)
 		return 1
 	}
-	fmt.Printf("vdb: serving on %s (max-conns=%d queue=%d query-timeout=%v)\n",
-		srv.Addr(), cfg.MaxActive, cfg.QueueDepth, cfg.QueryTimeout)
+	fmt.Printf("vdb: serving on %s (%s)\n", srv.Addr(), desc)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -212,8 +255,12 @@ func runStatement(exec func(string) (*wire.Result, error), text string) bool {
 		return false
 	}
 	if res.Msg != "" {
+		// A result can carry both a message and rows (e.g. the router's
+		// DEGRADED tag on a partial answer): print the tag, then the rows.
 		fmt.Println(res.Msg)
-		return true
+		if len(res.Cols) == 0 {
+			return true
+		}
 	}
 	fmt.Println(strings.Join(res.Cols, " | "))
 	for _, row := range res.Rows {

@@ -1,0 +1,57 @@
+package cluster
+
+import (
+	"time"
+
+	"vecstudy/internal/client"
+)
+
+// healthLoop probes every replica at the configured interval over a
+// dedicated short-lived connection (never the pool — a wedged pool must
+// not stop the prober from noticing recovery) and flips the down flag
+// both ways: a failed subquery marks a replica down immediately, and
+// only the prober marks it up again once Ping succeeds.
+func (r *Router) healthLoop() {
+	defer r.wg.Done()
+	ticker := time.NewTicker(r.cfg.HealthInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-ticker.C:
+		}
+		r.probeAll()
+	}
+}
+
+// probeAll pings every replica concurrently and updates health state.
+func (r *Router) probeAll() {
+	done := make(chan struct{})
+	n := 0
+	for _, reps := range r.shards {
+		for _, rep := range reps {
+			n++
+			go func(rep *replica) {
+				rep.down.Store(!r.probe(rep))
+				done <- struct{}{}
+			}(rep)
+		}
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}
+
+// probe reports whether one replica answers a Ping within the dial
+// timeout.
+func (r *Router) probe(rep *replica) bool {
+	timeout := r.cfg.DialTimeout
+	conn, err := client.DialTimeout(rep.addr, timeout)
+	if err != nil {
+		return false
+	}
+	defer conn.Close()
+	conn.SetReadTimeout(timeout)
+	return conn.Ping() == nil
+}

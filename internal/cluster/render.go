@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"strconv"
+	"strings"
+
+	"vecstudy/internal/pg/sql"
+)
+
+// render.go turns parsed statements back into SQL text for per-shard
+// subqueries. The router parses each client statement once (to classify
+// and split it) and re-renders the per-shard variant — e.g. a kNN
+// SELECT with the distance pseudo-column appended so results can be
+// merged, or an INSERT holding only the rows a shard owns.
+
+// renderLiteral appends one literal in the dialect's syntax.
+func renderLiteral(b *strings.Builder, l sql.Literal) {
+	switch {
+	case l.IsNull:
+		b.WriteString("NULL")
+	case l.IsStr:
+		// Vector literals round-trip through Str too: the parser keeps
+		// the original text ('{0.1,0.2}').
+		b.WriteByte('\'')
+		b.WriteString(strings.ReplaceAll(l.Str, "'", "''"))
+		b.WriteByte('\'')
+	default:
+		b.WriteString(strconv.FormatFloat(l.Num, 'g', -1, 64))
+	}
+}
+
+// renderVector renders a float32 slice as a quoted vector literal with
+// round-trip precision.
+func renderVector(b *strings.Builder, v []float32) {
+	b.WriteString("'{")
+	for i, x := range v {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatFloat(float64(x), 'g', -1, 32))
+	}
+	b.WriteString("}'")
+}
+
+// renderInsert renders INSERT INTO table VALUES (...) for one shard's
+// row subset.
+func renderInsert(table string, rows [][]sql.Literal) string {
+	var b strings.Builder
+	b.WriteString("INSERT INTO ")
+	b.WriteString(table)
+	b.WriteString(" VALUES ")
+	for i, row := range rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteByte('(')
+		for j, lit := range row {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			renderLiteral(&b, lit)
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+// renderSelect renders a SELECT. When ensureDistance is set and the
+// statement is a vector search whose target list lacks the distance
+// pseudo-column, distance is appended (the merge needs it); distIdx
+// reports its position in the rendered target list and added whether
+// the router must strip it before answering the client.
+func renderSelect(st *sql.SelectStmt, ensureDistance bool) (text string, distIdx int, added bool) {
+	cols := st.Columns
+	distIdx = -1
+	if !st.CountStar {
+		for i, c := range cols {
+			if c == sql.DistanceColumn {
+				distIdx = i
+			}
+		}
+	}
+	if ensureDistance && st.OrderCol != "" && !st.CountStar && distIdx < 0 {
+		cols = append(append([]string(nil), cols...), sql.DistanceColumn)
+		distIdx = len(cols) - 1
+		added = true
+	}
+
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if st.CountStar {
+		b.WriteString("count(*)")
+	} else {
+		b.WriteString(strings.Join(cols, ", "))
+	}
+	b.WriteString(" FROM ")
+	b.WriteString(st.Table)
+	if st.WhereCol != "" {
+		b.WriteString(" WHERE ")
+		b.WriteString(st.WhereCol)
+		b.WriteString(" = ")
+		renderLiteral(&b, st.WhereVal)
+	}
+	if st.OrderCol != "" {
+		b.WriteString(" ORDER BY ")
+		b.WriteString(st.OrderCol)
+		b.WriteString(" <-> ")
+		renderVector(&b, st.QueryVec)
+	}
+	if st.HasLimit {
+		b.WriteString(" LIMIT ")
+		b.WriteString(strconv.Itoa(st.Limit))
+	}
+	return b.String(), distIdx, added
+}

@@ -1,0 +1,97 @@
+package minheap
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestMergeKDeterministicTies is the regression test for the sharded
+// merge path: before the (Dist, ID) total order, which equal-distance
+// items survived at the k boundary depended on arrival order, so a
+// scatter-gathered result could flap across runs when shard responses
+// raced. MergeK must return an identical slice for every permutation of
+// the input lists.
+func TestMergeKDeterministicTies(t *testing.T) {
+	// Nine items, all at distance 1 — the pure tie case — plus one
+	// clear winner. k=4 keeps the winner and the three smallest IDs.
+	winner := Item{ID: 500, Dist: 0.5}
+	ties := []Item{
+		{ID: 7, Dist: 1}, {ID: 3, Dist: 1}, {ID: 9, Dist: 1},
+		{ID: 1, Dist: 1}, {ID: 8, Dist: 1}, {ID: 2, Dist: 1},
+		{ID: 6, Dist: 1}, {ID: 4, Dist: 1}, {ID: 5, Dist: 1},
+	}
+	want := []Item{winner, {ID: 1, Dist: 1}, {ID: 2, Dist: 1}, {ID: 3, Dist: 1}}
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		all := append([]Item{winner}, ties...)
+		rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+		// Split the shuffled items into a random number of "shard" lists.
+		nLists := 1 + rng.Intn(4)
+		lists := make([][]Item, nLists)
+		for i, it := range all {
+			lists[i%nLists] = append(lists[i%nLists], it)
+		}
+		got := MergeK(4, lists...)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: MergeK = %v, want %v", trial, got, want)
+		}
+	}
+}
+
+// TestTopKTieBreakDeterministic pins the TopK-level property MergeK
+// relies on: the retained set is the k smallest items under (Dist, ID)
+// independent of push order.
+func TestTopKTieBreakDeterministic(t *testing.T) {
+	pushes := [][]Item{
+		{{ID: 2, Dist: 1}, {ID: 1, Dist: 1}, {ID: 3, Dist: 1}},
+		{{ID: 3, Dist: 1}, {ID: 2, Dist: 1}, {ID: 1, Dist: 1}},
+		{{ID: 1, Dist: 1}, {ID: 3, Dist: 1}, {ID: 2, Dist: 1}},
+	}
+	want := []Item{{ID: 1, Dist: 1}, {ID: 2, Dist: 1}}
+	for _, order := range pushes {
+		h := NewTopK(2)
+		for _, it := range order {
+			h.Push(it.ID, it.Dist)
+		}
+		if got := h.Results(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("push order %v: Results = %v, want %v", order, got, want)
+		}
+	}
+	// An equal-distance candidate with a larger ID than the root must be
+	// rejected; a smaller ID must displace it.
+	h := NewTopK(1)
+	h.Push(5, 1)
+	if h.Push(9, 1) {
+		t.Error("equal-distance larger ID displaced the root")
+	}
+	if !h.Push(2, 1) {
+		t.Error("equal-distance smaller ID rejected")
+	}
+	if got := h.Results(); got[0].ID != 2 {
+		t.Errorf("root = %v, want ID 2", got[0])
+	}
+}
+
+// TestMergeKShardEncoding exercises the (distance, shard, tid) tie-break
+// the router uses: IDs encode (shard, row position), so equal distances
+// resolve by shard then position.
+func TestMergeKShardEncoding(t *testing.T) {
+	enc := func(shard, pos int) int64 { return int64(shard)<<32 | int64(pos) }
+	shard0 := []Item{{ID: enc(0, 0), Dist: 2}, {ID: enc(0, 1), Dist: 2}}
+	shard1 := []Item{{ID: enc(1, 0), Dist: 2}, {ID: enc(1, 1), Dist: 1}}
+	got := MergeK(3, shard0, shard1)
+	want := []Item{
+		{ID: enc(1, 1), Dist: 1}, // strictly closer wins regardless of shard
+		{ID: enc(0, 0), Dist: 2}, // then shard 0 before shard 1, position order
+		{ID: enc(0, 1), Dist: 2},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("MergeK = %v, want %v", got, want)
+	}
+	// Argument order must not matter.
+	if got2 := MergeK(3, shard1, shard0); !reflect.DeepEqual(got2, want) {
+		t.Fatalf("MergeK(reversed) = %v, want %v", got2, want)
+	}
+}

@@ -22,12 +22,24 @@ type Item struct {
 	Dist float32
 }
 
-// TopK keeps the k smallest-distance items seen so far using a bounded
-// binary max-heap: the root is the current worst of the best k, so a new
-// candidate is accepted only if it beats the root.
+// Less is the deterministic total order on items: ascending distance,
+// equal distances broken by ascending ID. TopK keeps the k smallest
+// items under this order, so for a given multiset of (ID, Dist) pairs
+// the retained set does not depend on arrival order — which is what
+// keeps scatter-gathered shard results stable across runs.
+func Less(a, b Item) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.ID < b.ID
+}
+
+// TopK keeps the k smallest items seen so far (under Less) using a
+// bounded binary max-heap: the root is the current worst of the best k,
+// so a new candidate is accepted only if it beats the root.
 type TopK struct {
 	k     int
-	items []Item // max-heap on Dist once len == k
+	items []Item // max-heap under Less once len == k
 }
 
 // NewTopK returns a collector for the k best items. k must be ≥ 1.
@@ -46,7 +58,8 @@ func (h *TopK) Len() int { return len(h.items) }
 
 // Worst returns the largest distance currently in the heap, or +Inf-like
 // behaviour via ok=false when the heap is not yet full. Candidates with
-// Dist ≥ Worst cannot improve the result once ok is true.
+// Dist > Worst cannot improve the result once ok is true (a candidate at
+// exactly Worst may still displace the root on the ID tie-break).
 func (h *TopK) Worst() (float32, bool) {
 	if len(h.items) < h.k {
 		return 0, false
@@ -56,15 +69,16 @@ func (h *TopK) Worst() (float32, bool) {
 
 // Push offers a candidate. It returns true if the candidate was kept.
 func (h *TopK) Push(id int64, dist float32) bool {
+	it := Item{ID: id, Dist: dist}
 	if len(h.items) < h.k {
-		h.items = append(h.items, Item{ID: id, Dist: dist})
+		h.items = append(h.items, it)
 		h.siftUp(len(h.items) - 1)
 		return true
 	}
-	if dist >= h.items[0].Dist {
+	if !Less(it, h.items[0]) {
 		return false
 	}
-	h.items[0] = Item{ID: id, Dist: dist}
+	h.items[0] = it
 	h.siftDown(0)
 	return true
 }
@@ -72,7 +86,7 @@ func (h *TopK) Push(id int64, dist float32) bool {
 func (h *TopK) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if h.items[parent].Dist >= h.items[i].Dist {
+		if !Less(h.items[parent], h.items[i]) {
 			return
 		}
 		h.items[parent], h.items[i] = h.items[i], h.items[parent]
@@ -85,10 +99,10 @@ func (h *TopK) siftDown(i int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		largest := i
-		if l < n && h.items[l].Dist > h.items[largest].Dist {
+		if l < n && Less(h.items[largest], h.items[l]) {
 			largest = l
 		}
-		if r < n && h.items[r].Dist > h.items[largest].Dist {
+		if r < n && Less(h.items[largest], h.items[r]) {
 			largest = r
 		}
 		if largest == i {
@@ -183,10 +197,23 @@ func (c *Collector) minSiftDown(i, n int) {
 }
 
 func sortItems(items []Item) {
-	sort.Slice(items, func(i, j int) bool {
-		if items[i].Dist != items[j].Dist {
-			return items[i].Dist < items[j].Dist
+	sort.Slice(items, func(i, j int) bool { return Less(items[i], items[j]) })
+}
+
+// MergeK merges candidate lists (e.g. per-shard top-k results) into the
+// k globally best items via a size-k bounded heap. Because TopK retains
+// the k smallest items under the (Dist, ID) total order, the returned
+// slice is deterministic for a given multiset of items regardless of
+// list order or arrival order — equal-distance ties at the k boundary
+// always resolve the same way. Callers merging across shards encode
+// (shard, position) into ID to realize a (distance, shard, tid)
+// tie-break.
+func MergeK(k int, lists ...[]Item) []Item {
+	h := NewTopK(k)
+	for _, list := range lists {
+		for _, it := range list {
+			h.Push(it.ID, it.Dist)
 		}
-		return items[i].ID < items[j].ID
-	})
+	}
+	return h.Results()
 }

@@ -315,15 +315,21 @@ func (p *parser) parseSelect() (Stmt, error) {
 			return nil, err
 		}
 		sel.CountStar = true
-	} else if p.accept(tokPunct, "*") {
-		sel.Columns = []string{"*"}
 	} else {
+		// "*" may appear as a target-list element alongside named columns
+		// ("SELECT *, distance FROM ..."): resolveColumns expands it in
+		// place, and the cluster router relies on the form to append the
+		// distance pseudo-column to star queries it scatters.
 		for {
-			col, err := p.expect(tokIdent, "")
-			if err != nil {
-				return nil, err
+			if p.accept(tokPunct, "*") {
+				sel.Columns = append(sel.Columns, "*")
+			} else {
+				col, err := p.expect(tokIdent, "")
+				if err != nil {
+					return nil, err
+				}
+				sel.Columns = append(sel.Columns, col.text)
 			}
-			sel.Columns = append(sel.Columns, col.text)
 			if !p.accept(tokPunct, ",") {
 				break
 			}

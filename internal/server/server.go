@@ -62,11 +62,38 @@ func (c *Config) defaults() {
 	}
 }
 
-// Server serves a database over TCP.
+// Session executes one connection's statements. sql.Session implements
+// it for the single-node database; the cluster router implements it
+// with scatter-gather sessions. Sessions are single-threaded: the
+// server never issues a second Execute before the first returns.
+type Session interface {
+	Execute(text string) (*sql.Result, error)
+}
+
+// Backend supplies per-connection sessions. It is the seam that lets
+// the same serving layer (admission control, timeouts, drain, stats)
+// front either one database or a shard router.
+type Backend interface {
+	NewSession() Session
+}
+
+// StatsRower is an optional Backend extension: backends that carry
+// their own counters (the cluster router's fanout/retry/failover/
+// degraded tallies) contribute extra rows to SHOW server_stats.
+type StatsRower interface {
+	StatsRows() [][]any
+}
+
+// dbBackend adapts a single database to Backend.
+type dbBackend struct{ d *db.DB }
+
+func (b dbBackend) NewSession() Session { return sql.NewSession(b.d) }
+
+// Server serves a backend over TCP.
 type Server struct {
-	db    *db.DB
-	cfg   Config
-	stats stats
+	backend Backend
+	cfg     Config
+	stats   stats
 
 	lis      net.Listener
 	slots    chan struct{} // capacity MaxActive; holding a token = being served
@@ -86,9 +113,16 @@ type Server struct {
 // and data are visible to every connection; only SET knobs are
 // per-session.
 func New(d *db.DB, cfg Config) *Server {
+	return NewWithBackend(dbBackend{d}, cfg)
+}
+
+// NewWithBackend wraps any Backend in a server — the cluster router
+// mounts here so clients speak the identical wire protocol to a router
+// as to a single server.
+func NewWithBackend(b Backend, cfg Config) *Server {
 	cfg.defaults()
 	return &Server{
-		db:       d,
+		backend:  b,
 		cfg:      cfg,
 		slots:    make(chan struct{}, cfg.MaxActive),
 		draining: make(chan struct{}),
@@ -215,7 +249,7 @@ func (s *Server) track(conn net.Conn, add bool) {
 // statement outlived its timeout, the returned channel closes once that
 // statement finishes; otherwise it returns nil.
 func (s *Server) serveSession(conn net.Conn) <-chan struct{} {
-	sess := sql.NewSession(s.db)
+	sess := s.backend.NewSession()
 	for {
 		select {
 		case <-s.draining:
@@ -253,7 +287,7 @@ func (s *Server) serveSession(conn net.Conn) <-chan struct{} {
 // when a timeout fires, alive is false and done closes when the
 // abandoned statement finishes (sessions are single-threaded, so the
 // connection cannot accept further statements while one is running).
-func (s *Server) runQuery(conn net.Conn, sess *sql.Session, text string) (done <-chan struct{}, alive bool) {
+func (s *Server) runQuery(conn net.Conn, sess Session, text string) (done <-chan struct{}, alive bool) {
 	if res, handled := s.utilityQuery(text); handled {
 		s.respond(conn, res, nil, 0)
 		return nil, true
@@ -340,6 +374,9 @@ func (s *Server) utilityQuery(text string) (*sql.Result, bool) {
 		{"latency_p99", st.P99.String()},
 	} {
 		res.Rows = append(res.Rows, row)
+	}
+	if sr, ok := s.backend.(StatsRower); ok {
+		res.Rows = append(res.Rows, sr.StatsRows()...)
 	}
 	return res, true
 }
