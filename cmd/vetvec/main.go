@@ -1,0 +1,129 @@
+// Command vetvec runs this repository's custom static analyzers over Go
+// packages and exits non-zero if any diagnostic is reported. It is the
+// codebase's analogue of PostgreSQL's CHECK_FOR_LEAKED_BUFFERS and
+// LWLock assertions: the invariants the paper reproduction depends on —
+// pinned buffers always released (RC#2), no blocking calls under a
+// buffer-partition mutex (RC#3), SQLSTATEs drawn from declared
+// constants, no fire-and-forget goroutines on serving paths — checked
+// mechanically instead of by convention.
+//
+// Usage:
+//
+//	go run ./cmd/vetvec ./...
+//	go run ./cmd/vetvec -run pinrelease,lockscope ./internal/pg/...
+//
+// Diagnostics print as path:line:col: [analyzer] message.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"vecstudy/internal/analysis"
+	"vecstudy/internal/analysis/gohygiene"
+	"vecstudy/internal/analysis/load"
+	"vecstudy/internal/analysis/lockscope"
+	"vecstudy/internal/analysis/pinrelease"
+	"vecstudy/internal/analysis/sqlstate"
+)
+
+var analyzers = []*analysis.Analyzer{
+	pinrelease.Analyzer,
+	lockscope.Analyzer,
+	sqlstate.Analyzer,
+	gohygiene.Analyzer,
+}
+
+func main() {
+	runFlag := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: vetvec [-run names] packages...\n\nanalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	selected, err := selectAnalyzers(*runFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vetvec:", err)
+		os.Exit(2)
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vetvec:", err)
+		os.Exit(2)
+	}
+	loader, err := load.NewLoader(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vetvec:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Patterns(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vetvec:", err)
+		os.Exit(2)
+	}
+
+	count := 0
+	for _, pkg := range pkgs {
+		// vetvec does not analyze itself: analyzer sources and fixtures
+		// quote the very patterns the checkers flag.
+		if strings.HasPrefix(pkg.Path, "vecstudy/internal/analysis") ||
+			strings.HasPrefix(pkg.Path, "vecstudy/cmd/vetvec") {
+			continue
+		}
+		for _, a := range selected {
+			var diags []analysis.Diagnostic
+			pass := &analysis.Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Report:   func(d analysis.Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "vetvec: %s: %s: %v\n", a.Name, pkg.Path, err)
+				os.Exit(2)
+			}
+			sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+			for _, d := range diags {
+				fmt.Printf("%s: [%s] %s\n", pkg.Fset.Position(d.Pos), a.Name, d.Message)
+				count++
+			}
+		}
+	}
+	if count > 0 {
+		fmt.Fprintf(os.Stderr, "vetvec: %d diagnostic(s)\n", count)
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers resolves the -run flag to a subset of analyzers.
+func selectAnalyzers(runFlag string) ([]*analysis.Analyzer, error) {
+	if runFlag == "" {
+		return analyzers, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(analyzers))
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(runFlag, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

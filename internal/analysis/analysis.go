@@ -1,0 +1,190 @@
+// Package analysis is a small, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer holds a name
+// and a Run function, a Pass hands the Run function one type-checked
+// package, and diagnostics are reported back through the Pass.
+//
+// It exists because this repository's invariants — every pinned buffer
+// released on every path, no blocking calls under a buffer-pool mutex,
+// SQLSTATE codes always drawn from declared constants, no
+// fire-and-forget goroutines on serving paths — are load-bearing for
+// the measurements the paper reproduction makes, and convention alone
+// does not keep them true as the tree grows. PostgreSQL enforces the
+// same class of invariant mechanically (CHECK_FOR_LEAKED_BUFFERS,
+// LWLockHeldByMe assertions); cmd/vetvec is this codebase's analogue.
+//
+// The x/tools module is deliberately not imported: the build must work
+// from a clean module cache with no network, so the loader
+// (internal/analysis/load) resolves dependency type information through
+// `go list -export`, and the fixture runner
+// (internal/analysis/analysistest) re-implements the `// want` comment
+// protocol.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -run filters.
+	Name string
+	// Doc is a one-paragraph description, shown by `vetvec -help`.
+	Doc string
+	// Run inspects one package and reports diagnostics via pass.Report.
+	Run func(*Pass) error
+}
+
+// Pass is the input to one analyzer run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	// Report delivers one diagnostic.
+	Report func(Diagnostic)
+
+	directives map[string]map[int][]string // filename -> line -> directive names
+}
+
+// Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf formats and reports a diagnostic.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// DirectivePrefix is the comment prefix of vetvec control comments, e.g.
+// //vetvec:ownership-transfer or //vetvec:locked-io.
+const DirectivePrefix = "vetvec:"
+
+// buildDirectives scans every comment of every file for //vetvec:NAME
+// directives and indexes them by (file, line).
+func (p *Pass) buildDirectives() {
+	p.directives = make(map[string]map[int][]string)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, DirectivePrefix) {
+					continue
+				}
+				name := strings.TrimPrefix(text, DirectivePrefix)
+				if i := strings.IndexAny(name, " \t"); i >= 0 {
+					name = name[:i]
+				}
+				pos := p.Fset.Position(c.Pos())
+				byLine := p.directives[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]string)
+					p.directives[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], name)
+			}
+		}
+	}
+}
+
+// Suppressed reports whether a //vetvec:name directive appears on the
+// same line as pos or on the line directly above it.
+func (p *Pass) Suppressed(pos token.Pos, name string) bool {
+	if p.directives == nil {
+		p.buildDirectives()
+	}
+	position := p.Fset.Position(pos)
+	byLine := p.directives[position.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, l := range []int{position.Line, position.Line - 1} {
+		for _, d := range byLine[l] {
+			if d == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FuncDirective reports whether fn (a FuncDecl or FuncLit) carries the
+// //vetvec:name directive: in the doc comment of a FuncDecl, or on the
+// func's opening line or the line directly above it.
+func (p *Pass) FuncDirective(fn ast.Node, name string) bool {
+	if fd, ok := fn.(*ast.FuncDecl); ok && fd.Doc != nil {
+		for _, c := range fd.Doc.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if strings.HasPrefix(text, DirectivePrefix+name) {
+				return true
+			}
+		}
+	}
+	return p.Suppressed(fn.Pos(), name)
+}
+
+// --- shared type-query helpers ---------------------------------------------
+
+// IsMethod reports whether call invokes the method pkgPath.typeName.name
+// (receiver may be a pointer; typeName may also be an interface).
+func IsMethod(info *types.Info, call *ast.CallExpr, pkgPath, typeName, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	selection, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	recv := selection.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == typeName && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// IsPkgFunc reports whether call invokes the package-level function
+// pkgPath.name.
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return false
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok || fn.Name() != name {
+		return false
+	}
+	return fn.Pkg() != nil && fn.Pkg().Path() == pkgPath
+}
+
+// NamedType reports whether t (or the pointee of t) is the named type
+// pkgPath.typeName.
+func NamedType(t types.Type, pkgPath, typeName string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == typeName && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}

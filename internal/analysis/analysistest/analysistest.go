@@ -1,0 +1,122 @@
+// Package analysistest runs an analyzer over a fixture package and
+// checks its diagnostics against `// want "regexp"` comments, the same
+// protocol as golang.org/x/tools/go/analysis/analysistest: a want
+// comment on a line asserts that the analyzer reports a diagnostic on
+// that line matching the regexp; every diagnostic must be wanted and
+// every want must be matched.
+//
+// Fixtures live under testdata/src/<name> next to each analyzer, where
+// `go list` never looks — they can therefore contain deliberate
+// invariant violations without tripping the real vetvec run in CI.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"vecstudy/internal/analysis"
+	"vecstudy/internal/analysis/load"
+)
+
+// wantRE extracts the quoted pattern from a `// want "..."` comment.
+var wantRE = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads testdata/src/<fixture> relative to dir, applies the
+// analyzer, and reports mismatches as test errors.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, fixture string) {
+	RunPath(t, dir, a, fixture, "vetvecfixture/"+fixture)
+}
+
+// RunPath is Run with an explicit import path for the fixture package —
+// needed by analyzers whose scope is decided by import path (gohygiene
+// only fires inside the serving packages).
+func RunPath(t *testing.T, dir string, a *analysis.Analyzer, fixture, importPath string) {
+	t.Helper()
+	fixtureDir := filepath.Join(dir, "testdata", "src", fixture)
+	loader, err := load.NewLoader(dir)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := loader.Dir(fixtureDir, importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixtureDir, err)
+	}
+
+	expects := collectWants(t, pkg)
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		Report:   func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !claim(expects, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", filepath.Base(pos.Filename), pos.Line, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", filepath.Base(e.file), e.line, e.pattern)
+		}
+	}
+}
+
+// collectWants scans fixture comments for want expectations.
+func collectWants(t *testing.T, pkg *load.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+					pat, err := regexp.Compile(unescape(m[1]))
+					if err != nil {
+						pos := pkg.Fset.Position(c.Pos())
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: pat})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// claim marks the first unmatched expectation at (file, line) whose
+// pattern matches message.
+func claim(expects []*expectation, file string, line int, message string) bool {
+	for _, e := range expects {
+		if e.matched || e.file != file || e.line != line {
+			continue
+		}
+		if e.pattern.MatchString(message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// unescape undoes the \" escaping inside the quoted want pattern.
+func unescape(s string) string {
+	return strings.ReplaceAll(s, `\"`, `"`)
+}

@@ -1,0 +1,213 @@
+// Package gohygiene bans fire-and-forget goroutines on serving paths.
+//
+// The serving layers (internal/server, internal/cluster,
+// internal/client) shut down by closing listeners, draining
+// WaitGroups, and closing stop channels; a goroutine spawned with no
+// tie to any of those outlives Close, races the test harness, and — on
+// the benchmark paths — keeps consuming CPU after the measurement
+// window ends, quietly skewing QPS numbers. Every `go` statement in
+// those packages must therefore be observable: registered with a
+// WaitGroup, or parameterized by a context or channel through which
+// shutdown reaches it.
+//
+// A `go` statement passes if any of these holds:
+//
+//   - a WaitGroup.Add call appears in the few statements directly
+//     before it in the same block (the canonical wg.Add(1); go func()
+//     { defer wg.Done() } shape);
+//   - the spawned function body uses a WaitGroup, performs any channel
+//     operation (send, receive, close, select, range over a channel),
+//     or references a context.Context — all of which give the parent a
+//     handle on its lifetime;
+//   - a context.Context or channel is passed to the spawned call as an
+//     argument (go worker(ctx, jobs)).
+//
+// Anything else is flagged.
+package gohygiene
+
+import (
+	"go/ast"
+	"go/types"
+
+	"vecstudy/internal/analysis"
+)
+
+// Analyzer is the goroutine-hygiene checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "gohygiene",
+	Doc:  "goroutines in internal/server, internal/cluster, internal/client must be WaitGroup-registered or shutdown-aware (context/channel)",
+	Run:  run,
+}
+
+// scopedPkgs are the serving-path packages the invariant applies to.
+var scopedPkgs = []string{
+	"vecstudy/internal/server",
+	"vecstudy/internal/cluster",
+	"vecstudy/internal/client",
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		// Walk blocks so each GoStmt is seen with its preceding siblings.
+		ast.Inspect(file, func(n ast.Node) bool {
+			var stmts []ast.Stmt
+			switch b := n.(type) {
+			case *ast.BlockStmt:
+				stmts = b.List
+			case *ast.CaseClause:
+				stmts = b.Body
+			case *ast.CommClause:
+				stmts = b.Body
+			default:
+				return true
+			}
+			for i, stmt := range stmts {
+				gostmt, ok := stmt.(*ast.GoStmt)
+				if !ok {
+					continue
+				}
+				if !hygienic(pass, gostmt, stmts[:i]) {
+					pass.Reportf(gostmt.Pos(),
+						"fire-and-forget goroutine on a serving path: register it with a WaitGroup or pass it a context/shutdown channel")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func inScope(path string) bool {
+	for _, p := range scopedPkgs {
+		if path == p {
+			return true
+		}
+	}
+	return false
+}
+
+// precedingWindow is how many statements before the go statement may
+// hold the wg.Add call (allows an intervening counter bump or log line).
+const precedingWindow = 3
+
+// hygienic decides whether one go statement satisfies the invariant.
+func hygienic(pass *analysis.Pass, st *ast.GoStmt, preceding []ast.Stmt) bool {
+	// Shape 1: wg.Add(n) shortly before the go statement.
+	start := len(preceding) - precedingWindow
+	if start < 0 {
+		start = 0
+	}
+	for _, prev := range preceding[start:] {
+		if callsWaitGroupAdd(pass.Info, prev) {
+			return true
+		}
+	}
+
+	// Shape 2/3: the spawned function is lifecycle-aware.
+	if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+		if bodyIsLifecycleAware(pass.Info, lit.Body) {
+			return true
+		}
+	}
+
+	// Shape 3 (named call): a context or channel flows in as an argument.
+	for _, arg := range st.Call.Args {
+		if isLifecycleCarrier(pass.Info, arg) {
+			return true
+		}
+	}
+	// A method call on a receiver is opaque; be strict and flag it
+	// unless an argument carries lifecycle.
+	return false
+}
+
+// callsWaitGroupAdd reports whether stmt contains wg.Add(...) on a
+// sync.WaitGroup.
+func callsWaitGroupAdd(info *types.Info, stmt ast.Stmt) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if analysis.IsMethod(info, call, "sync", "WaitGroup", "Add") {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// bodyIsLifecycleAware scans a goroutine body for WaitGroup use, any
+// channel operation, or a context reference.
+func bodyIsLifecycleAware(info *types.Info, body *ast.BlockStmt) bool {
+	aware := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if aware {
+			return false
+		}
+		switch node := n.(type) {
+		case *ast.SendStmt:
+			aware = true
+		case *ast.UnaryExpr:
+			if node.Op.String() == "<-" {
+				aware = true
+			}
+		case *ast.SelectStmt:
+			aware = true
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[node.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					aware = true
+				}
+			}
+		case *ast.CallExpr:
+			if analysis.IsMethod(info, node, "sync", "WaitGroup", "Done") ||
+				analysis.IsMethod(info, node, "sync", "WaitGroup", "Add") ||
+				analysis.IsMethod(info, node, "sync", "WaitGroup", "Wait") {
+				aware = true
+			}
+			// close(ch) of a channel is a shutdown signal.
+			if id, ok := node.Fun.(*ast.Ident); ok && id.Name == "close" && len(node.Args) == 1 {
+				if isLifecycleCarrier(info, node.Args[0]) {
+					aware = true
+				}
+			}
+		case *ast.Ident:
+			if isLifecycleCarrierType(typeOf(info, node)) {
+				aware = true
+			}
+		}
+		return !aware
+	})
+	return aware
+}
+
+// isLifecycleCarrier reports whether expr is a context.Context or a
+// channel value.
+func isLifecycleCarrier(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	if !ok {
+		return false
+	}
+	return isLifecycleCarrierType(tv.Type)
+}
+
+func isLifecycleCarrierType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, isChan := t.Underlying().(*types.Chan); isChan {
+		return true
+	}
+	return analysis.NamedType(t, "context", "Context")
+}
+
+func typeOf(info *types.Info, id *ast.Ident) types.Type {
+	if obj, ok := info.Uses[id]; ok {
+		return obj.Type()
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+package gohygiene_test
+
+import (
+	"testing"
+
+	"vecstudy/internal/analysis/analysistest"
+	"vecstudy/internal/analysis/gohygiene"
+)
+
+func TestGoHygiene(t *testing.T) {
+	// The fixture type-checks under a serving import path; the analyzer
+	// is scoped to internal/server, internal/cluster, internal/client.
+	analysistest.RunPath(t, ".", gohygiene.Analyzer, "serve", "vecstudy/internal/server")
+}
+
+// TestOutOfScope re-runs the same fixture under a non-serving import
+// path: nothing may flag, demonstrating the scope gate.
+func TestOutOfScope(t *testing.T) {
+	analysistest.RunPath(t, ".", gohygiene.Analyzer, "quiet", "vecstudy/internal/pg/other")
+}

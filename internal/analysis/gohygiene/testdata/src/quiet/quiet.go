@@ -1,0 +1,9 @@
+// Package quiet holds a bare goroutine spawn that would flag inside a
+// serving package; loaded under a non-serving import path it must not.
+package quiet
+
+func compute() {}
+
+func backgroundCompute() {
+	go compute() // fine here: not a serving path
+}

@@ -1,0 +1,76 @@
+// Package serve is the gohygiene fixture, type-checked under a serving
+// import path: goroutines with no lifecycle tie must flag; WaitGroup,
+// channel, and context shapes must not.
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+func doWork()                    {}
+func worker(ctx context.Context) { <-ctx.Done() }
+func pump(jobs chan int)         { <-jobs }
+func handle(c *conn)             {}
+
+type conn struct{}
+
+// --- violations -------------------------------------------------------------
+
+func fireAndForget() {
+	go doWork() // want "fire-and-forget goroutine on a serving path"
+}
+
+func fireAndForgetClosure() {
+	go func() { // want "fire-and-forget goroutine on a serving path"
+		doWork()
+	}()
+}
+
+func fireAndForgetMethodArg(c *conn) {
+	go handle(c) // want "fire-and-forget goroutine on a serving path"
+}
+
+// --- must not flag ----------------------------------------------------------
+
+func waitGroupRegistered(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		doWork()
+	}()
+}
+
+func waitGroupWindow(wg *sync.WaitGroup, n *int) {
+	wg.Add(1)
+	*n++ // an intervening bookkeeping statement is tolerated
+	go func() {
+		defer wg.Done()
+		doWork()
+	}()
+}
+
+func shutdownChannel(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+func contextAware(ctx context.Context) {
+	go worker(ctx)
+}
+
+func channelArg(jobs chan int) {
+	go pump(jobs)
+}
+
+func contextInClosure(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}

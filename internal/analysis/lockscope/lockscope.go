@@ -1,0 +1,450 @@
+// Package lockscope checks that no blocking call happens while a mutex
+// is held.
+//
+// This is the RC#3 invariant: the paper attributes PostgreSQL's poor
+// parallel-scan scaling to contention on buffer-partition locks, and
+// the reproduction only measures lock-hold cost honestly if critical
+// sections stay short and CPU-bound. A partition mutex held across a
+// disk read, a channel rendezvous, or a network round-trip turns a
+// nanosecond-scale critical section into a millisecond-scale one and
+// serializes every backend hashing to that partition.
+//
+// The analyzer tracks held mutexes intraprocedurally — sync.Mutex /
+// sync.RWMutex Lock/RLock acquires (plus the buffer partition's lock()
+// helper), Unlock/RUnlock releases, defer-Unlock held-to-end — and
+// flags, while any mutex is held:
+//
+//   - buffer.Pool Pin/NewPage (may evict: I/O);
+//   - storage.PageStore ReadBlock/WriteBlock/Extend;
+//   - wire frame I/O and client Conn/Pool network calls;
+//   - net dialing and net.Conn Read/Write;
+//   - channel send/receive (select with a default case is non-blocking
+//     and exempt);
+//   - time.Sleep and sync.WaitGroup.Wait.
+//
+// Sites where holding the lock across I/O is the design — the buffer
+// manager deliberately trades concurrency for the simplicity of not
+// having PostgreSQL's IO_IN_PROGRESS protocol — carry a
+// //vetvec:locked-io directive with a justification comment.
+package lockscope
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"vecstudy/internal/analysis"
+)
+
+// Directive suppresses a locked-blocking-call report on its line.
+const Directive = "locked-io"
+
+// Analyzer is the lockscope checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockscope",
+	Doc:  "no blocking call (buffer pin, page I/O, channel op, network I/O) while a mutex is held",
+	Run:  run,
+}
+
+const (
+	poolPath    = "vecstudy/internal/pg/buffer"
+	storagePath = "vecstudy/internal/pg/storage"
+	wirePath    = "vecstudy/internal/wire"
+	clientPath  = "vecstudy/internal/client"
+)
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					analyzeFunc(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				analyzeFunc(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// heldSet maps a mutex key (the printed receiver expression) to the
+// position where it was acquired.
+type heldSet map[string]token.Pos
+
+func (h heldSet) clone() heldSet {
+	c := make(heldSet, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+type walker struct {
+	pass *analysis.Pass
+}
+
+func analyzeFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	w := &walker{pass: pass}
+	w.walkStmts(body.List, make(heldSet))
+}
+
+// walkStmts threads the held set through a statement list and returns
+// the outgoing set.
+func (w *walker) walkStmts(stmts []ast.Stmt, h heldSet) heldSet {
+	for _, stmt := range stmts {
+		h = w.walkStmt(stmt, h)
+	}
+	return h
+}
+
+func (w *walker) walkStmt(stmt ast.Stmt, h heldSet) heldSet {
+	switch st := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if key, acquired := lockOp(w.pass.Info, call); acquired {
+				w.checkExpr(st.X, h) // args evaluated before the lock lands
+				h[key] = call.Pos()
+				return h
+			} else if key != "" {
+				delete(h, key)
+				return h
+			}
+		}
+		w.checkExpr(st.X, h)
+
+	case *ast.DeferStmt:
+		if key, acquired := lockOp(w.pass.Info, st.Call); key != "" && !acquired {
+			// defer mu.Unlock(): released only at function end — the
+			// rest of the body runs with the lock held, so keep it.
+			return h
+		}
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			// A deferred closure runs after the body; analyze it with an
+			// empty held set, and apply any unlocks it performs? No —
+			// unlocks inside run too late to shorten the critical
+			// section. Analyze the closure body standalone only.
+			_ = lit
+			return h
+		}
+		w.checkExpr(st.Call, h)
+
+	case *ast.AssignStmt:
+		for _, rhs := range st.Rhs {
+			w.checkExpr(rhs, h)
+		}
+		for _, lhs := range st.Lhs {
+			w.checkExpr(lhs, h)
+		}
+
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			w.checkExpr(r, h)
+		}
+
+	case *ast.IfStmt:
+		if st.Init != nil {
+			h = w.walkStmt(st.Init, h)
+		}
+		w.checkExpr(st.Cond, h)
+		thenOut := w.walkStmts(st.Body.List, h.clone())
+		elseOut := h.clone()
+		if st.Else != nil {
+			elseOut = w.walkStmt(st.Else, elseOut)
+		}
+		if terminates(st.Body) {
+			return elseOut
+		}
+		if st.Else != nil && blockTerminates(st.Else) {
+			return thenOut
+		}
+		return intersect(thenOut, elseOut)
+
+	case *ast.BlockStmt:
+		return w.walkStmts(st.List, h)
+
+	case *ast.ForStmt:
+		if st.Init != nil {
+			h = w.walkStmt(st.Init, h)
+		}
+		if st.Cond != nil {
+			w.checkExpr(st.Cond, h)
+		}
+		out := w.walkStmts(st.Body.List, h.clone())
+		return intersect(h, out)
+
+	case *ast.RangeStmt:
+		w.checkRangeOver(st, h)
+		out := w.walkStmts(st.Body.List, h.clone())
+		return intersect(h, out)
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var body *ast.BlockStmt
+		if sw, ok := st.(*ast.SwitchStmt); ok {
+			if sw.Init != nil {
+				h = w.walkStmt(sw.Init, h)
+			}
+			if sw.Tag != nil {
+				w.checkExpr(sw.Tag, h)
+			}
+			body = sw.Body
+		} else {
+			body = st.(*ast.TypeSwitchStmt).Body
+		}
+		out := h.clone()
+		for _, c := range body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				caseOut := w.walkStmts(cc.Body, h.clone())
+				out = intersect(out, caseOut)
+			}
+		}
+		return out
+
+	case *ast.SelectStmt:
+		w.checkSelect(st, h)
+		out := h.clone()
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				caseOut := w.walkStmts(cc.Body, h.clone())
+				out = intersect(out, caseOut)
+			}
+		}
+		return out
+
+	case *ast.SendStmt:
+		if len(h) > 0 && !w.pass.Suppressed(st.Pos(), Directive) {
+			w.report(st.Pos(), "channel send", h)
+		}
+		w.checkExpr(st.Value, h)
+
+	case *ast.GoStmt:
+		// The goroutine body runs concurrently without the lock; only
+		// argument evaluation happens here.
+		for _, a := range st.Call.Args {
+			w.checkExpr(a, h)
+		}
+
+	case *ast.LabeledStmt:
+		return w.walkStmt(st.Stmt, h)
+	}
+	return h
+}
+
+// checkSelect flags blocking selects; a select with a default case
+// never blocks.
+func (w *walker) checkSelect(st *ast.SelectStmt, h heldSet) {
+	if len(h) == 0 || w.pass.Suppressed(st.Pos(), Directive) {
+		return
+	}
+	for _, c := range st.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return // has default: non-blocking
+		}
+	}
+	w.report(st.Pos(), "blocking select", h)
+}
+
+// checkRangeOver flags ranging over a channel while locked.
+func (w *walker) checkRangeOver(st *ast.RangeStmt, h heldSet) {
+	w.checkExpr(st.X, h)
+	if len(h) == 0 || w.pass.Suppressed(st.Pos(), Directive) {
+		return
+	}
+	if tv, ok := w.pass.Info.Types[st.X]; ok {
+		if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+			w.report(st.Pos(), "channel receive (range)", h)
+		}
+	}
+}
+
+// checkExpr scans an expression for blocking operations and nested
+// lock effects, reporting any found while h is non-empty. FuncLit
+// bodies are skipped — they execute later, without the lock (and are
+// analyzed standalone by run).
+func (w *walker) checkExpr(expr ast.Expr, h heldSet) {
+	if expr == nil {
+		return
+	}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if node.Op == token.ARROW && len(h) > 0 && !w.pass.Suppressed(node.Pos(), Directive) {
+				w.report(node.Pos(), "channel receive", h)
+			}
+		case *ast.CallExpr:
+			if len(h) == 0 {
+				return true
+			}
+			if what := blockingCall(w.pass.Info, node); what != "" && !w.pass.Suppressed(node.Pos(), Directive) {
+				w.report(node.Pos(), what, h)
+			}
+		}
+		return true
+	})
+}
+
+func (w *walker) report(pos token.Pos, what string, h heldSet) {
+	// Name one held mutex for the message; pick deterministically.
+	var key string
+	for k := range h {
+		if key == "" || k < key {
+			key = k
+		}
+	}
+	w.pass.Reportf(pos, "%s while mutex %s is held (acquired at %s)", what, key, w.pass.Fset.Position(h[key]))
+}
+
+// intersect keeps only mutexes held on both joining paths — the
+// conservative merge that avoids false "held" state after a branch
+// that unlocked.
+func intersect(a, b heldSet) heldSet {
+	out := make(heldSet)
+	for k, v := range a {
+		if _, ok := b[k]; ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// --- recognizers ------------------------------------------------------------
+
+// lockOp classifies call as a lock acquire (key, true), release
+// (key, false), or neither ("", false).
+func lockOp(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		if !isMutexRecv(info, sel) {
+			return "", false
+		}
+		return types.ExprString(sel.X), name == "Lock" || name == "RLock"
+	case "lock":
+		// The buffer partition's TryLock-then-Lock helper.
+		if analysis.IsMethod(info, call, poolPath, "partition", "lock") {
+			return types.ExprString(sel.X) + ".mu", true
+		}
+	}
+	return "", false
+}
+
+// isMutexRecv reports whether sel selects a method on sync.Mutex or
+// sync.RWMutex (directly or through an embedded field).
+func isMutexRecv(info *types.Info, sel *ast.SelectorExpr) bool {
+	selection, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	recv := selection.Recv()
+	for {
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		// A named type embedding sync.Mutex: the selection's receiver is
+		// still the outer type; check the method's true receiver.
+		if fn, ok := selection.Obj().(*types.Func); ok {
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return isMutexType(sig.Recv().Type())
+			}
+		}
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+func isMutexType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// blockingCall names the blocking operation call performs, or "".
+func blockingCall(info *types.Info, call *ast.CallExpr) string {
+	switch {
+	case analysis.IsMethod(info, call, poolPath, "Pool", "Pin"):
+		return "buffer.Pool.Pin (may evict: page I/O)"
+	case analysis.IsMethod(info, call, poolPath, "Pool", "NewPage"):
+		return "buffer.Pool.NewPage (may extend: page I/O)"
+	case analysis.IsMethod(info, call, storagePath, "PageStore", "ReadBlock"),
+		analysis.IsMethod(info, call, storagePath, "PageStore", "WriteBlock"),
+		analysis.IsMethod(info, call, storagePath, "PageStore", "Extend"):
+		return "storage.PageStore I/O"
+	case analysis.IsPkgFunc(info, call, wirePath, "ReadFrame"),
+		analysis.IsPkgFunc(info, call, wirePath, "WriteFrame"),
+		analysis.IsPkgFunc(info, call, wirePath, "ReadResult"),
+		analysis.IsPkgFunc(info, call, wirePath, "WriteResult"):
+		return "wire-protocol I/O"
+	case analysis.IsMethod(info, call, clientPath, "Conn", "Execute"),
+		analysis.IsMethod(info, call, clientPath, "Conn", "Ping"),
+		analysis.IsMethod(info, call, clientPath, "Pool", "Get"):
+		return "client network round-trip"
+	case analysis.IsPkgFunc(info, call, clientPath, "Dial"),
+		analysis.IsPkgFunc(info, call, clientPath, "DialTimeout"),
+		analysis.IsPkgFunc(info, call, "net", "Dial"),
+		analysis.IsPkgFunc(info, call, "net", "DialTimeout"):
+		return "network dial"
+	case analysis.IsMethod(info, call, "net", "Conn", "Read"),
+		analysis.IsMethod(info, call, "net", "Conn", "Write"):
+		return "net.Conn I/O"
+	case analysis.IsPkgFunc(info, call, "time", "Sleep"):
+		return "time.Sleep"
+	case analysis.IsMethod(info, call, "sync", "WaitGroup", "Wait"):
+		return "sync.WaitGroup.Wait"
+	}
+	return ""
+}
+
+// terminates reports whether a block always exits the function.
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	return stmtTerminates(b.List[len(b.List)-1])
+}
+
+func blockTerminates(s ast.Stmt) bool {
+	if b, ok := s.(*ast.BlockStmt); ok {
+		return terminates(b)
+	}
+	return stmtTerminates(s)
+}
+
+func stmtTerminates(s ast.Stmt) bool {
+	switch st := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(st)
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package lockscope_test
+
+import (
+	"testing"
+
+	"vecstudy/internal/analysis/analysistest"
+	"vecstudy/internal/analysis/lockscope"
+)
+
+func TestLockScope(t *testing.T) {
+	analysistest.Run(t, ".", lockscope.Analyzer, "lock")
+}

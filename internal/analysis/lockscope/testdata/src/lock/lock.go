@@ -1,0 +1,139 @@
+// Package lock is the lockscope fixture: blocking operations under a
+// held mutex must flag; lock-free or properly-scoped code must not.
+package lock
+
+import (
+	"sync"
+	"time"
+
+	"vecstudy/internal/pg/buffer"
+)
+
+// --- violations -------------------------------------------------------------
+
+// sleepUnderLock is the textbook critical-section inflation.
+func sleepUnderLock(mu *sync.Mutex) {
+	mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while mutex mu is held"
+	mu.Unlock()
+}
+
+// pinUnderLock holds a mutex across a buffer pin (page I/O on a miss).
+func pinUnderLock(mu *sync.Mutex, p *buffer.Pool, rel buffer.RelID) error {
+	mu.Lock()
+	defer mu.Unlock()
+	buf, err := p.Pin(rel, 0) // want "buffer.Pool.Pin .* while mutex mu is held"
+	if err != nil {
+		return err
+	}
+	buf.Release()
+	return nil
+}
+
+// sendUnderLock rendezvouses on a channel while locked.
+func sendUnderLock(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	ch <- 1 // want "channel send while mutex mu is held"
+	mu.Unlock()
+}
+
+// recvUnderLock blocks on a receive while locked.
+func recvUnderLock(mu *sync.RWMutex, ch chan int) int {
+	mu.RLock()
+	v := <-ch // want "channel receive while mutex mu is held"
+	mu.RUnlock()
+	return v
+}
+
+// selectUnderLock has no default case, so it blocks.
+func selectUnderLock(mu *sync.Mutex, a, b chan int) {
+	mu.Lock()
+	select { // want "blocking select while mutex mu is held"
+	case <-a:
+	case <-b:
+	}
+	mu.Unlock()
+}
+
+// embedded mutexes count too.
+type guarded struct {
+	sync.Mutex
+	n int
+}
+
+func embeddedUnderLock(g *guarded) {
+	g.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while mutex g is held"
+	g.n++
+	g.Unlock()
+}
+
+// waitUnderLock holds the lock across a WaitGroup drain.
+func waitUnderLock(mu *sync.Mutex, wg *sync.WaitGroup) {
+	mu.Lock()
+	defer mu.Unlock()
+	wg.Wait() // want "sync.WaitGroup.Wait while mutex mu is held"
+}
+
+// --- must not flag ----------------------------------------------------------
+
+// unlockFirst drops the lock before blocking.
+func unlockFirst(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	mu.Unlock()
+	ch <- 1
+}
+
+// shortCritical keeps the critical section CPU-only.
+func shortCritical(mu *sync.Mutex, m map[int]int) int {
+	mu.Lock()
+	defer mu.Unlock()
+	return m[0]
+}
+
+// nonBlockingSelect has a default case and never parks.
+func nonBlockingSelect(mu *sync.Mutex, ch chan int) bool {
+	mu.Lock()
+	defer mu.Unlock()
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// branchUnlock releases on one path and blocks only after the merge
+// where neither path still holds the lock.
+func branchUnlock(mu *sync.Mutex, ch chan int, fast bool) {
+	mu.Lock()
+	if fast {
+		mu.Unlock()
+	} else {
+		mu.Unlock()
+	}
+	ch <- 1
+}
+
+// spawned work does not inherit the caller's lock.
+func goroutineBody(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	defer mu.Unlock()
+	go func() {
+		ch <- 1
+	}()
+}
+
+// suppressed is the documented escape hatch: holding the lock across
+// this pin is the design, stated in the line above the call.
+func suppressed(mu *sync.Mutex, p *buffer.Pool, rel buffer.RelID) error {
+	mu.Lock()
+	defer mu.Unlock()
+	//vetvec:locked-io
+	buf, err := p.Pin(rel, 0)
+	if err != nil {
+		return err
+	}
+	buf.Release()
+	return nil
+}

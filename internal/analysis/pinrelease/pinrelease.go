@@ -1,0 +1,578 @@
+// Package pinrelease checks that every buffer acquired from the pool is
+// released on every control-flow path.
+//
+// This is the RC#2 invariant: the buffer manager's pin counts are what
+// make eviction safe, and a *Buf whose pin is never dropped turns its
+// frame permanently unevictable — the Go analogue of the leaked-buffer
+// warnings PostgreSQL raises from resource-owner cleanup at transaction
+// end. Unlike PostgreSQL, this codebase has no transaction boundary to
+// sweep leaked pins at, so the discipline must hold per function.
+//
+// The analyzer walks each function body path-sensitively:
+//
+//   - buf, err := pool.Pin(...) / buf, blk, err := pool.NewPage(...)
+//     makes buf an owned value on the success path (the error branch of
+//     the paired err variable is narrowed: Pin returns a nil *Buf with
+//     a non-nil error, so there is nothing to release there);
+//   - buf.Release(), directly or deferred, or inside a deferred
+//     closure, ends the obligation;
+//   - passing buf to another function, storing it in a composite
+//     literal or another variable, sending it on a channel, or
+//     capturing it in a closure transfers ownership — the analyzer
+//     stops tracking rather than guessing the callee's behaviour;
+//   - Page, Block, MarkDirty and Release are borrows, not transfers;
+//   - returning buf is only legal from a function marked
+//     //vetvec:ownership-transfer, the documented escape hatch for
+//     constructors that hand the pin to their caller;
+//   - a buffer acquired inside a loop must be resolved by the end of
+//     the iteration (or before break/continue), otherwise the next
+//     iteration overwrites the variable and the pin leaks.
+package pinrelease
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"vecstudy/internal/analysis"
+)
+
+// PoolPath is the package declaring the pinning API.
+const PoolPath = "vecstudy/internal/pg/buffer"
+
+// TransferDirective marks functions that intentionally return a pinned
+// buffer to their caller.
+const TransferDirective = "ownership-transfer"
+
+// Analyzer is the pinrelease checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "pinrelease",
+	Doc:  "every buffer.Pool Pin/NewPage result must be Released on all control-flow paths",
+	Run:  run,
+}
+
+// borrowMethods are *Buf methods that use the pin without consuming it.
+var borrowMethods = map[string]bool{
+	"Page": true, "Block": true, "MarkDirty": true, "Release": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					analyzeFunc(pass, fn, fn.Body)
+				}
+			case *ast.FuncLit:
+				analyzeFunc(pass, fn, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// owned records one live pin obligation.
+type owned struct {
+	acquirePos token.Pos
+	errVar     *types.Var // paired error result, if any
+	loopDepth  int        // loop nesting level at acquisition
+}
+
+// state is the set of variables currently holding an unreleased pin.
+// walker methods mutate it; branches walk on copies.
+type state map[*types.Var]*owned
+
+func (s state) clone() state {
+	c := make(state, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// walker analyzes one function body.
+type walker struct {
+	pass      *analysis.Pass
+	fn        ast.Node // *ast.FuncDecl or *ast.FuncLit
+	transfer  bool     // fn carries //vetvec:ownership-transfer
+	loopDepth int
+	reported  map[token.Pos]bool // dedupe: one report per acquisition
+}
+
+func analyzeFunc(pass *analysis.Pass, fn ast.Node, body *ast.BlockStmt) {
+	w := &walker{
+		pass:     pass,
+		fn:       fn,
+		transfer: pass.FuncDirective(fn, TransferDirective),
+		reported: make(map[token.Pos]bool),
+	}
+	out, terminated := w.walkStmts(body.List, make(state))
+	if !terminated {
+		w.checkExit(out, body.End(), nil)
+	}
+}
+
+func (w *walker) reportLeak(o *owned, format string, args ...any) {
+	if w.reported[o.acquirePos] {
+		return
+	}
+	w.reported[o.acquirePos] = true
+	w.pass.Reportf(o.acquirePos, format, args...)
+}
+
+// checkExit reports every still-owned variable at a function exit.
+// results, when non-nil, are the return expressions: returning an owned
+// buffer is the transfer case.
+func (w *walker) checkExit(s state, pos token.Pos, results []ast.Expr) {
+	returned := make(map[*types.Var]bool)
+	for _, r := range results {
+		if v := identVar(w.pass.Info, r); v != nil {
+			returned[v] = true
+		}
+	}
+	for v, o := range s {
+		if returned[v] {
+			if !w.transfer {
+				w.reportLeak(o, "pinned buffer %s is returned without a //vetvec:%s directive on the function", v.Name(), TransferDirective)
+			}
+			continue
+		}
+		w.reportLeak(o, "pinned buffer %s is not released on every path (leaks at %s)", v.Name(), w.pass.Fset.Position(pos))
+	}
+}
+
+// walkStmts walks a statement list, threading ownership state through.
+// It reports leaks at every exit and returns the fallthrough state plus
+// whether the list always terminates (return/panic).
+func (w *walker) walkStmts(stmts []ast.Stmt, s state) (state, bool) {
+	for _, stmt := range stmts {
+		var terminated bool
+		s, terminated = w.walkStmt(stmt, s)
+		if terminated {
+			return s, true
+		}
+	}
+	return s, false
+}
+
+func (w *walker) walkStmt(stmt ast.Stmt, s state) (state, bool) {
+	switch st := stmt.(type) {
+	case *ast.AssignStmt:
+		w.handleAssign(st, s)
+
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if v := releasedVar(w.pass.Info, call); v != nil {
+				delete(s, v)
+				return s, false
+			}
+			if kind := acquireKind(w.pass.Info, call); kind != "" {
+				// Result dropped on the floor: the pin can never be released.
+				w.pass.Reportf(call.Pos(), "result of %s is discarded: the pinned buffer can never be released", kind)
+				return s, false
+			}
+		}
+		w.scanEscapes(st.X, s)
+
+	case *ast.DeferStmt:
+		w.handleDefer(st, s)
+
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			// Escapes in return expressions other than a bare owned
+			// identifier (e.g. return wrap(buf)) transfer ownership.
+			if identVar(w.pass.Info, r) == nil {
+				w.scanEscapes(r, s)
+			}
+		}
+		w.checkExit(s, st.Pos(), st.Results)
+		return s, true
+
+	case *ast.IfStmt:
+		return w.walkIf(st, s)
+
+	case *ast.BlockStmt:
+		return w.walkStmts(st.List, s)
+
+	case *ast.ForStmt:
+		if st.Init != nil {
+			s, _ = w.walkStmt(st.Init, s)
+		}
+		if st.Cond != nil {
+			w.scanEscapes(st.Cond, s)
+		}
+		w.loopDepth++
+		body, _ := w.walkStmts(st.Body.List, s.clone())
+		w.checkLoopEnd(body, st.Body.End())
+		w.loopDepth--
+		return s, false
+
+	case *ast.RangeStmt:
+		w.scanEscapes(st.X, s)
+		w.loopDepth++
+		body, _ := w.walkStmts(st.Body.List, s.clone())
+		w.checkLoopEnd(body, st.Body.End())
+		w.loopDepth--
+		return s, false
+
+	case *ast.BranchStmt:
+		// break/continue exits the iteration: buffers acquired inside
+		// the loop must already be resolved.
+		if st.Tok == token.BREAK || st.Tok == token.CONTINUE {
+			w.checkLoopEnd(s, st.Pos())
+		}
+		return s, st.Tok == token.BREAK || st.Tok == token.CONTINUE || st.Tok == token.GOTO
+
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			s, _ = w.walkStmt(st.Init, s)
+		}
+		if st.Tag != nil {
+			w.scanEscapes(st.Tag, s)
+		}
+		return w.walkCases(st.Body, s)
+
+	case *ast.TypeSwitchStmt:
+		return w.walkCases(st.Body, s)
+
+	case *ast.SelectStmt:
+		return w.walkCases(st.Body, s)
+
+	case *ast.GoStmt:
+		w.scanEscapes(st.Call, s)
+
+	case *ast.SendStmt:
+		w.scanEscapes(st.Value, s)
+
+	case *ast.DeclStmt:
+		ast.Inspect(st, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				w.scanEscapes(e, s)
+				return false
+			}
+			return true
+		})
+
+	case *ast.LabeledStmt:
+		return w.walkStmt(st.Stmt, s)
+
+	case *ast.IncDecStmt, *ast.EmptyStmt:
+		// no pin-relevant effects
+	}
+	return s, false
+}
+
+// walkIf handles branch narrowing and merging.
+func (w *walker) walkIf(st *ast.IfStmt, s state) (state, bool) {
+	if st.Init != nil {
+		s, _ = w.walkStmt(st.Init, s)
+	}
+	w.scanEscapes(st.Cond, s)
+
+	thenState, elseState := s.clone(), s.clone()
+	// Error-guard narrowing: after buf, err := pool.Pin(...), the
+	// err != nil branch holds no pin (Pin's contract: nil *Buf on error).
+	if errVar, nonNil, ok := errNilCheck(w.pass.Info, st.Cond); ok {
+		narrow := thenState
+		if !nonNil { // err == nil: success is the then-branch
+			narrow = elseState
+		}
+		for v, o := range narrow {
+			if o.errVar == errVar {
+				delete(narrow, v)
+			}
+		}
+	}
+
+	thenOut, thenTerm := w.walkStmts(st.Body.List, thenState)
+	elseOut, elseTerm := elseState, false
+	if st.Else != nil {
+		elseOut, elseTerm = w.walkStmt(st.Else, elseState)
+	}
+
+	switch {
+	case thenTerm && elseTerm:
+		return s, true
+	case thenTerm:
+		return elseOut, false
+	case elseTerm:
+		return thenOut, false
+	default:
+		return mergeOwned(thenOut, elseOut), false
+	}
+}
+
+// walkCases merges the bodies of switch/select cases.
+func (w *walker) walkCases(body *ast.BlockStmt, s state) (state, bool) {
+	var outs []state
+	allTerm := true
+	hasDefault := false
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			stmts = cc.Body
+			if cc.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cc.List {
+				w.scanEscapes(e, s)
+			}
+		case *ast.CommClause:
+			stmts = cc.Body
+			if cc.Comm == nil {
+				hasDefault = true
+			} else {
+				var comm ast.Stmt = cc.Comm
+				s2 := s.clone()
+				s2, _ = w.walkStmt(comm, s2)
+				_ = s2
+			}
+		}
+		out, term := w.walkStmts(stmts, s.clone())
+		if !term {
+			outs = append(outs, out)
+			allTerm = false
+		}
+	}
+	if !hasDefault {
+		// Execution may skip every case (non-exhaustive switch).
+		outs = append(outs, s)
+		allTerm = false
+	}
+	if allTerm {
+		return s, true
+	}
+	merged := outs[0]
+	for _, o := range outs[1:] {
+		merged = mergeOwned(merged, o)
+	}
+	return merged, false
+}
+
+// mergeOwned keeps the union of obligations: a pin still owed on either
+// branch is still owed after the join.
+func mergeOwned(a, b state) state {
+	for v, o := range b {
+		if _, ok := a[v]; !ok {
+			a[v] = o
+		}
+	}
+	return a
+}
+
+// checkLoopEnd reports buffers acquired inside the current loop
+// iteration that are still owned when the iteration ends.
+func (w *walker) checkLoopEnd(s state, pos token.Pos) {
+	for v, o := range s {
+		if o.loopDepth >= w.loopDepth && w.loopDepth > 0 {
+			w.reportLeak(o, "pinned buffer %s acquired inside the loop is not released by the end of the iteration (%s)", v.Name(), w.pass.Fset.Position(pos))
+		}
+	}
+}
+
+// handleAssign tracks acquisitions and release-by-escape.
+func (w *walker) handleAssign(st *ast.AssignStmt, s state) {
+	// Acquisition: buf, err := pool.Pin(...) / buf, blk, err := pool.NewPage(...)
+	if len(st.Rhs) == 1 {
+		if call, ok := st.Rhs[0].(*ast.CallExpr); ok {
+			if kind := acquireKind(w.pass.Info, call); kind != "" {
+				w.scanEscapes(call, s) // args may carry owned values
+				if id, ok := st.Lhs[0].(*ast.Ident); ok && id.Name == "_" {
+					w.pass.Reportf(call.Pos(), "result of %s is discarded: the pinned buffer can never be released", kind)
+					return
+				}
+				bufVar := identVar(w.pass.Info, st.Lhs[0])
+				if bufVar == nil {
+					return
+				}
+				var errVar *types.Var
+				if last := st.Lhs[len(st.Lhs)-1]; len(st.Lhs) >= 2 {
+					errVar = identVar(w.pass.Info, last)
+				}
+				// Reassignment over a live pin loses the old obligation.
+				if old, ok := s[bufVar]; ok {
+					w.reportLeak(old, "pinned buffer %s is overwritten at %s before being released", bufVar.Name(), w.pass.Fset.Position(st.Pos()))
+				}
+				s[bufVar] = &owned{acquirePos: call.Pos(), errVar: errVar, loopDepth: w.loopDepth}
+				return
+			}
+		}
+	}
+	// Otherwise: owned values on the RHS escape into the LHS targets.
+	for _, rhs := range st.Rhs {
+		w.scanEscapes(rhs, s)
+		if v := identVar(w.pass.Info, rhs); v != nil {
+			delete(s, v) // transferred to the assignment target
+		}
+	}
+	for _, lhs := range st.Lhs {
+		// Assigning over a tracked variable (buf = nil) drops the pin.
+		if v := identVar(w.pass.Info, lhs); v != nil {
+			if old, ok := s[v]; ok {
+				w.reportLeak(old, "pinned buffer %s is overwritten at %s before being released", v.Name(), w.pass.Fset.Position(st.Pos()))
+				delete(s, v)
+			}
+		} else {
+			w.scanEscapes(lhs, s)
+		}
+	}
+}
+
+// handleDefer recognizes defer buf.Release() and deferred closures that
+// release owned buffers; everything else deferred is an escape scan.
+func (w *walker) handleDefer(st *ast.DeferStmt, s state) {
+	if v := releasedVar(w.pass.Info, st.Call); v != nil {
+		delete(s, v)
+		return
+	}
+	if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+		// defer func() { ... buf.Release() ... }()
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if v := releasedVar(w.pass.Info, call); v != nil {
+					delete(s, v)
+				}
+			}
+			return true
+		})
+		return
+	}
+	w.scanEscapes(st.Call, s)
+}
+
+// scanEscapes removes from s every owned variable that escapes through
+// expr: call arguments, composite literals, channel values, address-of,
+// closure captures. Borrow-method calls on the variable itself do not
+// count.
+func (w *walker) scanEscapes(expr ast.Expr, s state) {
+	if expr == nil || len(s) == 0 {
+		return
+	}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := node.Fun.(*ast.SelectorExpr); ok {
+				if v := identVar(w.pass.Info, sel.X); v != nil {
+					if _, owned := s[v]; owned && borrowMethods[sel.Sel.Name] && isBufMethod(w.pass.Info, node) {
+						if sel.Sel.Name == "Release" {
+							delete(s, v)
+						}
+						// Borrow: do not descend into sel.X.
+						for _, a := range node.Args {
+							w.scanEscapes(a, s)
+						}
+						return false
+					}
+				}
+			}
+			// Any owned value used as an argument (or as a non-borrow
+			// receiver) is handed off.
+			return true
+		case *ast.FuncLit:
+			// Closure capture: anything the closure references escapes.
+			ast.Inspect(node.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if v, ok := w.pass.Info.Uses[id].(*types.Var); ok {
+						delete(s, v)
+					}
+				}
+				return true
+			})
+			return false
+		case *ast.Ident:
+			if v, ok := w.pass.Info.Uses[node].(*types.Var); ok {
+				if _, owned := s[v]; owned {
+					delete(s, v)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// --- recognizers ------------------------------------------------------------
+
+// acquireKind reports whether call is Pool.Pin or Pool.NewPage, naming
+// which.
+func acquireKind(info *types.Info, call *ast.CallExpr) string {
+	if analysis.IsMethod(info, call, PoolPath, "Pool", "Pin") {
+		return "buffer.Pool.Pin"
+	}
+	if analysis.IsMethod(info, call, PoolPath, "Pool", "NewPage") {
+		return "buffer.Pool.NewPage"
+	}
+	return ""
+}
+
+// releasedVar returns the variable whose pin call releases, if call is
+// v.Release() on a *buffer.Buf variable.
+func releasedVar(info *types.Info, call *ast.CallExpr) *types.Var {
+	if !analysis.IsMethod(info, call, PoolPath, "Buf", "Release") {
+		return nil
+	}
+	sel := call.Fun.(*ast.SelectorExpr)
+	return identVar(info, sel.X)
+}
+
+// isBufMethod reports whether call is a method on *buffer.Buf.
+func isBufMethod(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return analysis.IsMethod(info, call, PoolPath, "Buf", sel.Sel.Name)
+}
+
+// identVar resolves expr to the *types.Var it names, or nil.
+func identVar(info *types.Info, expr ast.Expr) *types.Var {
+	if p, ok := expr.(*ast.ParenExpr); ok {
+		return identVar(info, p.X)
+	}
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// errNilCheck matches `err != nil` / `err == nil` conditions, returning
+// the error variable and whether the comparison is != nil.
+func errNilCheck(info *types.Info, cond ast.Expr) (*types.Var, bool, bool) {
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.NEQ && bin.Op != token.EQL) {
+		return nil, false, false
+	}
+	x, y := bin.X, bin.Y
+	if isNil(info, x) {
+		x, y = y, x
+	}
+	if !isNil(info, y) {
+		return nil, false, false
+	}
+	v := identVar(info, x)
+	if v == nil {
+		return nil, false, false
+	}
+	if _, ok := v.Type().Underlying().(*types.Interface); !ok {
+		return nil, false, false
+	}
+	return v, bin.Op == token.NEQ, true
+}
+
+func isNil(info *types.Info, expr ast.Expr) bool {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNilObj := info.Uses[id].(*types.Nil)
+	return isNilObj
+}

@@ -1,0 +1,12 @@
+package pinrelease_test
+
+import (
+	"testing"
+
+	"vecstudy/internal/analysis/analysistest"
+	"vecstudy/internal/analysis/pinrelease"
+)
+
+func TestPinRelease(t *testing.T) {
+	analysistest.Run(t, ".", pinrelease.Analyzer, "pin")
+}

@@ -1,0 +1,201 @@
+// Package pin is the pinrelease fixture: each function is one shape the
+// analyzer must flag (// want) or must leave alone.
+package pin
+
+import "vecstudy/internal/pg/buffer"
+
+// --- violations -------------------------------------------------------------
+
+// leakOnEarlyReturn drops the pin on one branch.
+func leakOnEarlyReturn(p *buffer.Pool, rel buffer.RelID) error {
+	buf, err := p.Pin(rel, 0) // want "pinned buffer buf is not released on every path"
+	if err != nil {
+		return err
+	}
+	if buf.Block() == 3 {
+		return nil // pin leaks here
+	}
+	buf.Release()
+	return nil
+}
+
+// discardedResult throws the *Buf away at the call site.
+func discardedResult(p *buffer.Pool, rel buffer.RelID) error {
+	_, err := p.Pin(rel, 1) // want "result of buffer.Pool.Pin is discarded"
+	return err
+}
+
+// returnWithoutDirective hands the pin to the caller without declaring
+// the transfer.
+func returnWithoutDirective(p *buffer.Pool, rel buffer.RelID) (*buffer.Buf, error) {
+	buf, err := p.Pin(rel, 2) // want "returned without a //vetvec:ownership-transfer directive"
+	if err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// leakAcrossIteration re-enters the loop with the previous pin live.
+func leakAcrossIteration(p *buffer.Pool, rel buffer.RelID, n uint32) error {
+	for blk := uint32(0); blk < n; blk++ {
+		buf, err := p.Pin(rel, blk) // want "acquired inside the loop is not released by the end of the iteration"
+		if err != nil {
+			return err
+		}
+		if buf.Block() == 7 {
+			break // pin leaks here
+		}
+	}
+	return nil
+}
+
+// overwrittenBeforeRelease loses the first pin by reassigning.
+func overwrittenBeforeRelease(p *buffer.Pool, rel buffer.RelID) error {
+	buf, err := p.Pin(rel, 0) // want "pinned buffer buf is overwritten"
+	if err != nil {
+		return err
+	}
+	buf, err = p.Pin(rel, 1)
+	if err != nil {
+		return err
+	}
+	buf.Release()
+	return nil
+}
+
+// newPageLeak covers the NewPage entry point too.
+func newPageLeak(p *buffer.Pool, rel buffer.RelID) (uint32, error) {
+	buf, blk, err := p.NewPage(rel) // want "pinned buffer buf is not released on every path"
+	if err != nil {
+		return 0, err
+	}
+	if blk > 100 {
+		return 0, nil // pin leaks here
+	}
+	buf.Release()
+	return blk, nil
+}
+
+// --- must not flag ----------------------------------------------------------
+
+// straightLine releases on the only path.
+func straightLine(p *buffer.Pool, rel buffer.RelID) error {
+	buf, err := p.Pin(rel, 0)
+	if err != nil {
+		return err
+	}
+	buf.MarkDirty()
+	buf.Release()
+	return nil
+}
+
+// deferred releases via defer, covering every exit below it.
+func deferred(p *buffer.Pool, rel buffer.RelID) (uint32, error) {
+	buf, err := p.Pin(rel, 0)
+	if err != nil {
+		return 0, err
+	}
+	defer buf.Release()
+	if buf.Block() == 3 {
+		return 3, nil
+	}
+	return buf.Block(), nil
+}
+
+// deferredClosure releases inside a deferred func literal.
+func deferredClosure(p *buffer.Pool, rel buffer.RelID) error {
+	buf, err := p.Pin(rel, 0)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		buf.MarkDirty()
+		buf.Release()
+	}()
+	return nil
+}
+
+// perIteration resolves each pin before the next loop round.
+func perIteration(p *buffer.Pool, rel buffer.RelID, n uint32) error {
+	for blk := uint32(0); blk < n; blk++ {
+		buf, err := p.Pin(rel, blk)
+		if err != nil {
+			return err
+		}
+		if buf.Block() == 7 {
+			buf.Release()
+			break
+		}
+		buf.Release()
+	}
+	return nil
+}
+
+// transferToCallee hands the pin to another function, which now owns it.
+func transferToCallee(p *buffer.Pool, rel buffer.RelID) error {
+	buf, err := p.Pin(rel, 0)
+	if err != nil {
+		return err
+	}
+	consume(buf)
+	return nil
+}
+
+func consume(b *buffer.Buf) { b.Release() }
+
+// pinned is the sanctioned constructor shape: the directive declares
+// that the caller receives the pin.
+//
+//vetvec:ownership-transfer
+func pinned(p *buffer.Pool, rel buffer.RelID, blk uint32) (*buffer.Buf, error) {
+	buf, err := p.Pin(rel, blk)
+	if err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// chainPages is the regression fixture for the hnsw allocNeighborPages
+// leak: a page-chaining closure must release the previous page on the
+// allocation-failure path. This is the fixed shape and must not flag.
+func chainPages(p *buffer.Pool, rel buffer.RelID, n int) error {
+	var cur *buffer.Buf
+	newPage := func() error {
+		buf, _, err := p.NewPage(rel)
+		if err != nil {
+			if cur != nil {
+				cur.Release()
+				cur = nil
+			}
+			return err
+		}
+		if cur != nil {
+			cur.MarkDirty()
+			cur.Release()
+		}
+		cur = buf
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		if err := newPage(); err != nil {
+			return err
+		}
+	}
+	if cur != nil {
+		cur.MarkDirty()
+		cur.Release()
+	}
+	return nil
+}
+
+// storedInStruct transfers ownership into a longer-lived holder.
+type holder struct{ buf *buffer.Buf }
+
+func storedInStruct(p *buffer.Pool, rel buffer.RelID, h *holder) error {
+	buf, err := p.Pin(rel, 0)
+	if err != nil {
+		return err
+	}
+	h.buf = buf
+	return nil
+}

@@ -1,0 +1,203 @@
+// Package sqlstate enforces the wire-protocol error-code invariant:
+// every SQLSTATE carried by a TError frame comes from a constant
+// declared in internal/wire, never from an inline string literal.
+//
+// Inline codes are how SQLSTATE vocabularies rot: a typo'd "53#00"
+// still compiles, still crosses the wire, and silently breaks every
+// client that switches on wire.CodeRejected. Keeping the vocabulary in
+// one declared place — the way PostgreSQL generates errcodes.h from
+// errcodes.txt — makes the set greppable and the shape checkable.
+//
+// The analyzer reports:
+//
+//   - wire.EncodeError(code, ...) or wire.Error{Code: ...} where the
+//     code expression is a string literal instead of a reference to a
+//     constant declared in internal/wire;
+//   - any other call argument that is a string literal shaped like a
+//     SQLSTATE (five chars of [0-9A-Z] with at least one digit) in a
+//     serving-layer package — the s.reject(conn, "53300", ...) pattern
+//     that launders an inline code through a helper;
+//   - in internal/wire itself, a declared Code* constant whose value is
+//     not a well-formed five-char SQLSTATE.
+package sqlstate
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"vecstudy/internal/analysis"
+)
+
+// WirePath is the package whose constants form the SQLSTATE vocabulary.
+const WirePath = "vecstudy/internal/wire"
+
+// Analyzer is the sqlstate checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "sqlstate",
+	Doc:  "TError frames must use SQLSTATE constants declared in internal/wire, never inline string literals",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, node)
+			case *ast.CompositeLit:
+				checkErrorLit(pass, node)
+			case *ast.GenDecl:
+				if pass.Pkg.Path() == WirePath && node.Tok == token.CONST {
+					checkConstShape(pass, node)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCall flags EncodeError with a literal code, and SQLSTATE-shaped
+// literals passed to any other function.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	if analysis.IsPkgFunc(pass.Info, call, WirePath, "EncodeError") && len(call.Args) > 0 {
+		checkCodeExpr(pass, call.Args[0], "wire.EncodeError")
+		return
+	}
+	// Helper laundering: any string literal argument that looks like a
+	// SQLSTATE should be a declared constant, whoever it is passed to.
+	for _, arg := range call.Args {
+		if lit := stringLit(arg); lit != nil && looksLikeSQLSTATE(litValue(lit)) {
+			pass.Reportf(lit.Pos(),
+				"inline SQLSTATE literal %s: use a declared constant from internal/wire", lit.Value)
+		}
+	}
+}
+
+// checkErrorLit flags wire.Error{Code: "..."} composite literals.
+func checkErrorLit(pass *analysis.Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.Info.Types[lit]
+	if !ok || !analysis.NamedType(tv.Type, WirePath, "Error") {
+		return
+	}
+	for i, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Code" {
+				checkCodeExpr(pass, kv.Value, "wire.Error.Code")
+			}
+			continue
+		}
+		if i == 0 { // positional: Code is the first field
+			checkCodeExpr(pass, elt, "wire.Error.Code")
+		}
+	}
+}
+
+// checkCodeExpr requires expr to not be an inline string literal. A
+// reference to a constant declared in internal/wire is the sanctioned
+// form; identifiers and call results are accepted because the analyzer
+// cannot see through data flow — the literal ban is the hard line.
+func checkCodeExpr(pass *analysis.Pass, expr ast.Expr, ctx string) {
+	if lit := stringLit(expr); lit != nil && pass.Pkg.Path() != WirePath {
+		pass.Reportf(lit.Pos(),
+			"%s called with inline SQLSTATE literal %s: use a declared constant from internal/wire", ctx, lit.Value)
+		return
+	}
+	// Constants declared outside internal/wire defeat the single-vocabulary
+	// goal just as thoroughly as literals do.
+	if obj := constOf(pass.Info, expr); obj != nil {
+		if pkg := obj.Pkg(); pkg != nil && pkg.Path() != WirePath {
+			pass.Reportf(expr.Pos(),
+				"%s called with SQLSTATE constant %s declared in %s: declare it in internal/wire", ctx, obj.Name(), pkg.Path())
+		}
+	}
+}
+
+// checkConstShape validates declared SQLSTATE constants in the wire
+// package: name Code*, value exactly five chars of [0-9A-Z].
+func checkConstShape(pass *analysis.Pass, decl *ast.GenDecl) {
+	for _, spec := range decl.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for i, name := range vs.Names {
+			if !strings.HasPrefix(name.Name, "Code") || i >= len(vs.Values) {
+				continue
+			}
+			lit := stringLit(vs.Values[i])
+			if lit == nil {
+				continue
+			}
+			if v := litValue(lit); !wellFormed(v) {
+				pass.Reportf(lit.Pos(), "SQLSTATE constant %s = %q is not five chars of [0-9A-Z]", name.Name, v)
+			}
+		}
+	}
+}
+
+// stringLit unwraps expr to a string BasicLit, or nil.
+func stringLit(expr ast.Expr) *ast.BasicLit {
+	if p, ok := expr.(*ast.ParenExpr); ok {
+		return stringLit(p.X)
+	}
+	lit, ok := expr.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return nil
+	}
+	return lit
+}
+
+func litValue(lit *ast.BasicLit) string {
+	v, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return lit.Value
+	}
+	return v
+}
+
+// constOf resolves expr to the constant object it references, or nil.
+func constOf(info *types.Info, expr ast.Expr) *types.Const {
+	var id *ast.Ident
+	switch e := expr.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	c, _ := info.Uses[id].(*types.Const)
+	return c
+}
+
+// wellFormed reports whether v has the SQLSTATE shape.
+func wellFormed(v string) bool {
+	if len(v) != 5 {
+		return false
+	}
+	for _, c := range v {
+		if !(c >= '0' && c <= '9' || c >= 'A' && c <= 'Z') {
+			return false
+		}
+	}
+	return true
+}
+
+// looksLikeSQLSTATE is the heuristic for laundered literals: the shape
+// must hold and at least one digit must appear (ruling out plain
+// five-letter words like "DEBUG" used as tags).
+func looksLikeSQLSTATE(v string) bool {
+	if !wellFormed(v) {
+		return false
+	}
+	for _, c := range v {
+		if c >= '0' && c <= '9' {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package sqlstate_test
+
+import (
+	"testing"
+
+	"vecstudy/internal/analysis/analysistest"
+	"vecstudy/internal/analysis/sqlstate"
+)
+
+func TestSQLState(t *testing.T) {
+	analysistest.Run(t, ".", sqlstate.Analyzer, "state")
+}

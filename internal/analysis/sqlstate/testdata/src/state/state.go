@@ -1,0 +1,58 @@
+// Package state is the sqlstate fixture: inline SQLSTATE literals and
+// out-of-vocabulary constants must flag; the declared wire constants
+// and ordinary strings must not.
+package state
+
+import (
+	"fmt"
+
+	"vecstudy/internal/wire"
+)
+
+// localCode is an out-of-vocabulary constant: well-formed, but declared
+// in the wrong package.
+const localCode = "53999"
+
+// --- violations -------------------------------------------------------------
+
+func inlineEncode() []byte {
+	return wire.EncodeError("XX000", "boom") // want "wire.EncodeError called with inline SQLSTATE literal"
+}
+
+func inlineStructKeyed() error {
+	return &wire.Error{Code: "57014", Message: "canceled"} // want "wire.Error.Code called with inline SQLSTATE literal"
+}
+
+func inlineStructPositional() error {
+	return &wire.Error{"XX000", "boom"} // want "wire.Error.Code called with inline SQLSTATE literal"
+}
+
+func foreignConst() error {
+	return &wire.Error{Code: localCode, Message: "full"} // want "declare it in internal/wire"
+}
+
+// laundered is the helper-indirection shape: the literal never reaches
+// wire directly, but it is still an inline SQLSTATE.
+func laundered(reject func(code, msg string)) {
+	reject("53300", "too many connections") // want "inline SQLSTATE literal"
+}
+
+// --- must not flag ----------------------------------------------------------
+
+func constEncode() []byte {
+	return wire.EncodeError(wire.CodeError, "boom")
+}
+
+func constStruct() error {
+	return &wire.Error{Code: wire.CodeTimeout, Message: "canceled"}
+}
+
+func passThrough(code string) []byte {
+	// Parameters are accepted: the literal ban applies at the point the
+	// code value is born, not where it flows.
+	return wire.EncodeError(code, "relayed")
+}
+
+func ordinaryStrings() {
+	fmt.Println("DEBUG", "abcde", "no-code-here", "1234", "123456")
+}

@@ -411,6 +411,14 @@ func (ix *Index) allocNeighborPages(level uint16) (uint32, error) {
 	newPage := func() error {
 		buf, blk, err := ctx.Pool.NewPage(ctx.Rel)
 		if err != nil {
+			// Drop the pin on the previous chain page before bailing out;
+			// failing mid-chain (pool exhausted) used to leave it pinned
+			// forever, making its frame unevictable.
+			if cur != nil {
+				cur.MarkDirty()
+				cur.Release()
+				cur = nil
+			}
 			return err
 		}
 		page.Init(buf.Page(), pase.ChainSpecialSize)

@@ -183,6 +183,9 @@ func DecodeHeader(p []byte) (msg string, cols []string, err error) {
 		}
 		cols = append(cols, c)
 	}
+	if len(p) != 0 {
+		return "", nil, fmt.Errorf("wire: %d trailing bytes after header payload", len(p))
+	}
 	return msg, cols, nil
 }
 
@@ -307,6 +310,9 @@ func DecodeRow(p []byte) ([]any, error) {
 			return nil, fmt.Errorf("wire: unknown value tag %q", tag)
 		}
 	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after row payload", len(p))
+	}
 	return vals, nil
 }
 
@@ -317,10 +323,12 @@ func EncodeDone(rows int) []byte {
 	return binary.BigEndian.AppendUint32(nil, uint32(rows))
 }
 
-// DecodeDone decodes a TDone payload.
+// DecodeDone decodes a TDone payload. The payload is exactly four
+// bytes; trailing garbage means a framing bug (or a hostile peer) and
+// is rejected rather than ignored.
 func DecodeDone(p []byte) (rows int, err error) {
-	if len(p) < 4 {
-		return 0, io.ErrUnexpectedEOF
+	if len(p) != 4 {
+		return 0, fmt.Errorf("wire: done payload is %d bytes, want 4", len(p))
 	}
 	return int(binary.BigEndian.Uint32(p)), nil
 }
@@ -338,9 +346,12 @@ func DecodeError(p []byte) (*Error, error) {
 	if err != nil {
 		return nil, err
 	}
-	msg, _, err := readString(p)
+	msg, rest, err := readString(p)
 	if err != nil {
 		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after error payload", len(rest))
 	}
 	return &Error{Code: code, Message: msg}, nil
 }
