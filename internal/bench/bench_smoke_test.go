@@ -18,6 +18,7 @@ func TestRegistryCoversEveryFigureAndTable(t *testing.T) {
 		"tab3", "tab4", "tab5",
 		"ablation_io", "ablation_heap", "ablation_pqtab", "ablation_kmeans", "ablation_layout",
 		"qps", "qps_remote", "qps_cluster",
+		"filtered",
 	}
 	for _, id := range want {
 		if _, err := Lookup(id); err != nil {
@@ -42,7 +43,7 @@ func TestExperimentsRunAtSmokeScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping harness smoke in -short mode")
 	}
-	for _, id := range []string{"fig2", "fig3", "fig4", "fig11", "fig13", "fig14", "fig15", "tab4", "tab5", "ablation_heap", "ablation_pqtab", "qps", "qps_remote", "qps_cluster"} {
+	for _, id := range []string{"fig2", "fig3", "fig4", "fig11", "fig13", "fig14", "fig15", "tab4", "tab5", "ablation_heap", "ablation_pqtab", "qps", "qps_remote", "qps_cluster", "filtered"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			var buf strings.Builder

@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"vecstudy/internal/pg/db"
+	"vecstudy/internal/pg/sql"
+	"vecstudy/internal/vec"
+
+	_ "vecstudy/internal/pase/all"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "filtered",
+		Title: "Filtered kNN: recall and QPS vs predicate selectivity, per strategy",
+		Paper: "generalized engines must plan WHERE + ORDER BY <-> together; pre/post/in-traversal trade places as selectivity moves",
+		Run:   runFiltered,
+	})
+}
+
+// filteredSelectivities are the acceptance points of the sweep; the
+// attribute column is id % 100, so `attr < 100·s` matches fraction s.
+var filteredSelectivities = []float64{0.01, 0.1, 0.5, 0.9}
+
+// runFiltered loads one dataset through the SQL layer with a synthetic
+// low-cardinality attribute, builds an IVF_FLAT index, and sweeps
+// predicate selectivity × strategy, reporting per-query latency, QPS,
+// and recall against a filtered brute-force ground truth. The `auto`
+// rows additionally show which strategy the planner picked (via
+// EXPLAIN), making the crossover visible in one table.
+func runFiltered(cfg *Config) error {
+	name := cfg.Datasets[0]
+	const k = 10
+	ds, err := cfg.Dataset(name, k)
+	if err != nil {
+		return err
+	}
+	n := ds.N()
+
+	d, err := db.Open(db.Config{})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	sess := sql.NewSession(d)
+	if _, err := sess.Execute("CREATE TABLE t (id int, attr int, vec float[])"); err != nil {
+		return err
+	}
+	var b strings.Builder
+	for lo := 0; lo < n; lo += 200 {
+		hi := lo + 200
+		if hi > n {
+			hi = n
+		}
+		b.Reset()
+		b.WriteString("INSERT INTO t VALUES ")
+		for i := lo; i < hi; i++ {
+			if i > lo {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "(%d, %d, '{", i, i%100)
+			for j, x := range ds.Base.Row(i) {
+				if j > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(strconv.FormatFloat(float64(x), 'g', -1, 32))
+			}
+			b.WriteString("}')")
+		}
+		if _, err := sess.Execute(b.String()); err != nil {
+			return err
+		}
+	}
+	clusters := ds.NumClusters()
+	if _, err := sess.Execute(fmt.Sprintf(
+		"CREATE INDEX f_idx ON t USING ivfflat (vec) WITH (clusters = %d, sample_ratio = 1, seed = 1)", clusters)); err != nil {
+		return err
+	}
+	if err := sess.Set("nprobe", strconv.Itoa((clusters+1)/2)); err != nil {
+		return err
+	}
+
+	queryText := func(q int, attrBound float64, explain bool) string {
+		b.Reset()
+		if explain {
+			b.WriteString("EXPLAIN ")
+		}
+		fmt.Fprintf(&b, "SELECT id FROM t WHERE attr < %g ORDER BY vec <-> '{", attrBound)
+		for j, x := range ds.Queries.Row(q) {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.FormatFloat(float64(x), 'g', -1, 32))
+		}
+		fmt.Fprintf(&b, "}' LIMIT %d", k)
+		return b.String()
+	}
+
+	// Filtered brute-force ground truth, recomputed per selectivity.
+	groundTruth := func(q int, attrBound float64) map[int32]bool {
+		type cand struct {
+			id   int32
+			dist float32
+		}
+		var cands []cand
+		qv := ds.Queries.Row(q)
+		for i := 0; i < n; i++ {
+			if float64(i%100) < attrBound {
+				cands = append(cands, cand{int32(i), vec.L2SqrRef(qv, ds.Base.Row(i))})
+			}
+		}
+		sort.Slice(cands, func(a, b int) bool { return cands[a].dist < cands[b].dist })
+		if len(cands) > k {
+			cands = cands[:k]
+		}
+		gt := make(map[int32]bool, len(cands))
+		for _, c := range cands {
+			gt[c.id] = true
+		}
+		return gt
+	}
+
+	cfg.printf("dataset=%s n=%d clusters=%d nprobe=%d k=%d\n", name, n, clusters, (clusters+1)/2, k)
+	cfg.printf("selectivity  strategy        avg_query   qps       recall@k  planned\n")
+	for _, sel := range filteredSelectivities {
+		attrBound := sel * 100
+		gts := make([]map[int32]bool, ds.NQ())
+		for q := range gts {
+			gts[q] = groundTruth(q, attrBound)
+		}
+		for _, strat := range []string{"auto", "pre", "post", "intraversal"} {
+			if err := sess.Set(sql.FilterStrategySetting, strat); err != nil {
+				return err
+			}
+			planned := ""
+			if strat == "auto" {
+				res, err := sess.Execute(queryText(0, attrBound, true))
+				if err != nil {
+					return err
+				}
+				for _, row := range res.Rows {
+					line := row[0].(string)
+					for _, st := range []string{"pre-filter", "post-filter", "in-traversal"} {
+						if strings.Contains(line, st) {
+							planned = st
+						}
+					}
+				}
+			}
+			var hit, want int
+			start := time.Now()
+			for q := 0; q < ds.NQ(); q++ {
+				res, err := sess.Execute(queryText(q, attrBound, false))
+				if err != nil {
+					return err
+				}
+				want += len(gts[q])
+				for _, row := range res.Rows {
+					if gts[q][row[0].(int32)] {
+						hit++
+					}
+				}
+			}
+			elapsed := time.Since(start)
+			avg := elapsed / time.Duration(ds.NQ())
+			recall := 0.0
+			if want > 0 {
+				recall = float64(hit) / float64(want)
+			}
+			cfg.printf("%-12.2f %-15s %-11v %-9.1f %-9.3f %s\n",
+				sel, strat, avg.Round(time.Microsecond), float64(ds.NQ())/secs(elapsed), recall, planned)
+		}
+	}
+	return sess.Set(sql.FilterStrategySetting, "auto")
+}

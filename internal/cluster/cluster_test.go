@@ -471,3 +471,82 @@ func TestClusterConcurrent(t *testing.T) {
 		t.Errorf("failovers = %d, want >= 1 after mid-traffic kill", st.Failovers)
 	}
 }
+
+// TestFilteredClusterParity: filtered kNN through the router must match
+// a single node over the union at every acceptance selectivity, for
+// every strategy the session can force. Predicates are row-local, so
+// per-shard filtered top-k merges exactly; this also exercises the
+// WHERE re-render and the filter_strategy/filter_overfetch SET replay.
+func TestFilteredClusterParity(t *testing.T) {
+	const n, k = 400, 10
+	loadAttr := func(sess interface {
+		Execute(string) (*sql.Result, error)
+	}) {
+		t.Helper()
+		mustExec(t, sess, "CREATE TABLE t (id int, attr int, vec float[])")
+		var b strings.Builder
+		b.WriteString("INSERT INTO t VALUES ")
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "(%d, %d, '{%d, %d, 0, 0}')", i, i%100, i, i%100)
+		}
+		mustExec(t, sess, b.String())
+		mustExec(t, sess, "CREATE INDEX idx ON t USING ivfflat (vec) WITH (clusters = 16, sample_ratio = 1, seed = 1)")
+		mustExec(t, sess, "SET nprobe = 1000000") // exact: probe everything
+	}
+
+	d, err := db.Open(db.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	single := sql.NewSession(d)
+	loadAttr(single)
+
+	for _, S := range []int{2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", S), func(t *testing.T) {
+			shape := make([]int, S)
+			for i := range shape {
+				shape[i] = 1
+			}
+			h := newHarness(t, shape...)
+			r := h.router(Config{HealthInterval: -1})
+			sess := r.NewSession()
+			loadAttr(sess)
+
+			for _, selPct := range []int{1, 10, 50, 90} {
+				where := fmt.Sprintf("attr < %d", selPct)
+				q := fmt.Sprintf("SELECT id, distance FROM t WHERE %s ORDER BY vec <-> '{200.3, 41.7, 0, 0}' LIMIT %d", where, k)
+				want := ids(t, mustExec(t, single, q))
+				for _, strat := range []string{"auto", "pre", "post", "intraversal"} {
+					mustExec(t, sess, "SET filter_strategy = "+strat)
+					got := ids(t, mustExec(t, sess, q))
+					if len(got) != len(want) {
+						t.Fatalf("sel=%d%% strategy=%s: %d rows, single node %d", selPct, strat, len(got), len(want))
+					}
+					wantSet := map[int32]bool{}
+					for _, id := range want {
+						wantSet[id] = true
+					}
+					for _, id := range got {
+						if !wantSet[id] {
+							t.Errorf("sel=%d%% strategy=%s: id %d outside single-node top-%d %v", selPct, strat, id, k, want)
+						}
+						if int(id)%100 >= selPct {
+							t.Errorf("sel=%d%% strategy=%s: id %d violates %s", selPct, strat, id, where)
+						}
+					}
+				}
+			}
+
+			// A zero-match predicate must come back empty, not hang or error.
+			mustExec(t, sess, "SET filter_strategy = post")
+			res := mustExec(t, sess, "SELECT id FROM t WHERE attr = 777 ORDER BY vec <-> '{1, 1, 0, 0}' LIMIT 5")
+			if len(res.Rows) != 0 {
+				t.Errorf("zero-match cluster query returned %d rows", len(res.Rows))
+			}
+		})
+	}
+}

@@ -95,11 +95,17 @@ func renderSelect(st *sql.SelectStmt, ensureDistance bool) (text string, distIdx
 	}
 	b.WriteString(" FROM ")
 	b.WriteString(st.Table)
-	if st.WhereCol != "" {
-		b.WriteString(" WHERE ")
-		b.WriteString(st.WhereCol)
-		b.WriteString(" = ")
-		renderLiteral(&b, st.WhereVal)
+	for i, cond := range st.Where {
+		if i == 0 {
+			b.WriteString(" WHERE ")
+		} else {
+			b.WriteString(" AND ")
+		}
+		b.WriteString(cond.Col)
+		b.WriteByte(' ')
+		b.WriteString(cond.Op)
+		b.WriteByte(' ')
+		renderLiteral(&b, cond.Val)
 	}
 	if st.OrderCol != "" {
 		b.WriteString(" ORDER BY ")

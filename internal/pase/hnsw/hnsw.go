@@ -214,7 +214,7 @@ func (ix *Index) insertLocked(v []float32, tid heap.TID) error {
 	}
 	for lev := int32(topLevel); lev >= 0; lev-- {
 		ts := pr.Timer("SearchNbToAdd").Start()
-		cands, err := ix.searchLayer(v, ep, epDist, int(ix.meta.EFB), uint16(lev))
+		cands, err := ix.searchLayer(v, ep, epDist, int(ix.meta.EFB), uint16(lev), nil)
 		pr.Timer("SearchNbToAdd").Stop(ts)
 		if err != nil {
 			return err
@@ -657,8 +657,13 @@ func (ix *Index) greedyClosest(query []float32, ep VID, epDist float32, level ui
 }
 
 // searchLayer is the beam search at one level. The visited set is a hash
-// map over global IDs — PASE's HVTGet — timed separately.
-func (ix *Index) searchLayer(query []float32, ep VID, epDist float32, ef int, level uint16) ([]scored, error) {
+// map over global IDs — PASE's HVTGet — timed separately. A non-nil pred
+// makes the search filtering: traversal still explores every neighbor
+// (connectivity must not depend on the predicate, or the beam strands in
+// filtered-out regions), but only predicate-satisfying vertices enter
+// the result heap — in-traversal filtered kNN, the way filtered HNSW
+// variants gate the result set.
+func (ix *Index) searchLayer(query []float32, ep VID, epDist float32, ef int, level uint16, pred am.Predicate) ([]scored, error) {
 	pr := ix.ctx.Prof
 	tVisit := pr.Timer("HVTGet")
 
@@ -667,12 +672,28 @@ func (ix *Index) searchLayer(query []float32, ep VID, epDist float32, ef int, le
 
 	results := minheap.NewTopK(ef)
 	byID := make(map[int64]VID, 4*ef)
-	push := func(v VID, d float32) {
+	push := func(v VID, d float32) error {
+		if pred != nil {
+			tid, err := ix.tidOf(v)
+			if err != nil {
+				return err
+			}
+			ok, err := pred(tid)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
 		id := int64(v.key())
 		byID[id] = v
 		results.Push(id, d)
+		return nil
 	}
-	push(ep, epDist)
+	if err := push(ep, epDist); err != nil {
+		return nil, err
+	}
 
 	cq := newCandQueue()
 	cq.push(ep, epDist)
@@ -701,7 +722,9 @@ func (ix *Index) searchLayer(query []float32, ep VID, epDist float32, ef int, le
 				return nil, err
 			}
 			if worst, full := results.Worst(); !full || d < worst {
-				push(nb, d)
+				if err := push(nb, d); err != nil {
+					return nil, err
+				}
 				cq.push(nb, d)
 			}
 		}

@@ -12,6 +12,15 @@ import (
 // 200). Neither PASE nor Faiss parallelizes a single HNSW query (paper
 // Sec VII-D), so no threads parameter exists here.
 func (ix *Index) Search(query []float32, k int, params map[string]string) ([]am.Result, error) {
+	return ix.SearchFiltered(query, k, params, nil)
+}
+
+// SearchFiltered implements am.FilteredIndex: the greedy descent through
+// the upper levels is unfiltered (it only positions the entry point),
+// and the level-0 beam search explores the graph normally but admits
+// only predicate-satisfying vertices into its result heap, so filtered-
+// out tuples never surface. A nil pred is a plain Search.
+func (ix *Index) SearchFiltered(query []float32, k int, params map[string]string, pred am.Predicate) ([]am.Result, error) {
 	if len(query) != int(ix.meta.Dim) {
 		return nil, fmt.Errorf("pase/hnsw: query dimension %d != %d", len(query), ix.meta.Dim)
 	}
@@ -40,7 +49,7 @@ func (ix *Index) Search(query []float32, k int, params map[string]string) ([]am.
 			return nil, err
 		}
 	}
-	cands, err := ix.searchLayer(query, ep, epDist, efs, 0)
+	cands, err := ix.searchLayer(query, ep, epDist, efs, 0, pred)
 	if err != nil {
 		return nil, err
 	}

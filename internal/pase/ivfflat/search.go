@@ -49,6 +49,55 @@ func (ix *Index) Search(query []float32, k int, params map[string]string) ([]am.
 	return ix.searchSerial(query, k, probes)
 }
 
+// SearchFiltered implements am.FilteredIndex: the predicate is applied
+// inside the bucket scans, so non-matching entries never reach the
+// result heap — the in-traversal strategy of filtered kNN. The scan is
+// serial (the predicate callback resolves heap tuples and is not
+// synchronized); params other than threads behave as in Search.
+func (ix *Index) SearchFiltered(query []float32, k int, params map[string]string, pred am.Predicate) ([]am.Result, error) {
+	if pred == nil {
+		return ix.Search(query, k, params)
+	}
+	if len(query) != int(ix.meta.Dim) {
+		return nil, fmt.Errorf("pase/ivfflat: query dimension %d != %d", len(query), ix.meta.Dim)
+	}
+	if k <= 0 {
+		return nil, errors.New("pase/ivfflat: k must be positive")
+	}
+	nprobe, err := pase.OptInt(params, "nprobe", 20)
+	if err != nil {
+		return nil, err
+	}
+	if nprobe <= 0 {
+		nprobe = 1
+	}
+	if nprobe > int(ix.meta.NList) {
+		nprobe = int(ix.meta.NList)
+	}
+	top := minheap.NewTopK(k)
+	var predErr error
+	err = ix.scanBuckets(query, ix.selectProbes(query, nprobe), func(tid heap.TID, dist float32) {
+		if predErr != nil {
+			return
+		}
+		ok, err := pred(tid)
+		if err != nil {
+			predErr = err
+			return
+		}
+		if ok {
+			top.Push(int64(packTID(tid)), dist)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if predErr != nil {
+		return nil, predErr
+	}
+	return itemsToResults(top.Results()), nil
+}
+
 // searchBoundedHeap is searchSerial with the Faiss top-k strategy — used
 // only by the ablation_heap experiment to isolate RC#6.
 func (ix *Index) searchBoundedHeap(query []float32, k int, probes []int32) ([]am.Result, error) {

@@ -486,6 +486,57 @@ func (ix *Index) Search(query []float32, k int, params map[string]string) ([]am.
 	return itemsToResults(items), nil
 }
 
+// SearchFiltered implements am.FilteredIndex: the predicate gates each
+// candidate inside the ADC bucket scans, so non-matching codes never
+// enter the result heap. The scan is serial (the predicate callback
+// resolves heap tuples and is not synchronized).
+func (ix *Index) SearchFiltered(query []float32, k int, params map[string]string, pred am.Predicate) ([]am.Result, error) {
+	if pred == nil {
+		return ix.Search(query, k, params)
+	}
+	if len(query) != int(ix.meta.Dim) {
+		return nil, fmt.Errorf("pase/ivfpq: query dimension %d != %d", len(query), ix.meta.Dim)
+	}
+	if k <= 0 {
+		return nil, errors.New("pase/ivfpq: k must be positive")
+	}
+	nprobe, err := pase.OptInt(params, "nprobe", 20)
+	if err != nil {
+		return nil, err
+	}
+	if nprobe <= 0 {
+		nprobe = 1
+	}
+	if nprobe > int(ix.meta.NList) {
+		nprobe = int(ix.meta.NList)
+	}
+	top := minheap.NewTopK(k)
+	tab := make([]float32, ix.quant.M*ix.quant.KSub)
+	scratch := make([]float32, ix.meta.Dim)
+	var predErr error
+	for _, cid := range ix.selectProbes(query, nprobe) {
+		if err := ix.scanBucket(query, cid, tab, scratch, func(tid heap.TID, dist float32) {
+			if predErr != nil {
+				return
+			}
+			ok, err := pred(tid)
+			if err != nil {
+				predErr = err
+				return
+			}
+			if ok {
+				top.Push(packTID(tid), dist)
+			}
+		}); err != nil {
+			return nil, err
+		}
+		if predErr != nil {
+			return nil, predErr
+		}
+	}
+	return itemsToResults(top.Results()), nil
+}
+
 func (ix *Index) searchParallel(query []float32, k int, probes []int32, threads int) ([]am.Result, error) {
 	global := minheap.NewSharedTopK(k)
 	err := pase.ScanProbesParallel(probes, threads, func() func(int32) error {

@@ -50,6 +50,26 @@ type Index interface {
 	SizeBytes() (int64, error)
 }
 
+// Predicate decides whether the heap tuple at tid satisfies the query's
+// WHERE clause. The executor compiles it from the parsed predicate; the
+// access methods call it during traversal so non-matching tuples never
+// enter the result heap (in-traversal filtering). Implementations must
+// be safe for the single-goroutine traversal that invokes them and are
+// expected to memoize per-TID verdicts, since graph searches revisit.
+type Predicate func(tid heap.TID) (bool, error)
+
+// FilteredIndex is the optional extension an access method implements
+// when it can evaluate a predicate inside its own traversal — the
+// in-traversal strategy of selectivity-adaptive filtered kNN. AMs that
+// do not implement it are served by the executor's pre- or post-filter
+// paths instead.
+type FilteredIndex interface {
+	Index
+	// SearchFiltered returns the k nearest entries whose tuples satisfy
+	// pred, ascending by distance. A nil pred degenerates to Search.
+	SearchFiltered(query []float32, k int, params map[string]string, pred Predicate) ([]Result, error)
+}
+
 // BuildFunc constructs an index over the table's current contents.
 type BuildFunc func(ctx *BuildContext) (Index, error)
 

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"sync"
 
 	"vecstudy/internal/pg/buffer"
@@ -281,8 +282,62 @@ type Table struct {
 	hasBlk  bool
 	ntuples int64
 
+	sample sampler // reservoir of raw tuples for selectivity estimation
+
 	wal  *wal.Log
 	prof *prof.Profile
+}
+
+// SampleCap is the reservoir capacity of the per-table tuple sample the
+// planner estimates predicate selectivity from (ANALYZE-style statistics
+// maintained inline, PostgreSQL's default_statistics_target in spirit).
+const SampleCap = 256
+
+// sampler keeps a bounded uniform reservoir of raw tuples (Vitter's
+// algorithm R) maintained on every insert and rebuilt by the restore
+// scan on reopen. The seed is fixed so plan choices are reproducible.
+type sampler struct {
+	mu   sync.Mutex
+	rng  *rand.Rand
+	rows [][]byte
+	seen int64
+}
+
+func (s *sampler) add(tup []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(1))
+	}
+	s.seen++
+	if len(s.rows) < SampleCap {
+		s.rows = append(s.rows, append([]byte(nil), tup...))
+		return
+	}
+	if j := s.rng.Int63n(s.seen); j < int64(len(s.rows)) {
+		s.rows[j] = append(s.rows[j][:0], tup...)
+	}
+}
+
+// Sample returns up to SampleCap rows decoded from the table's uniform
+// tuple reservoir. The result is a fresh slice; an empty table yields
+// nil.
+func (t *Table) Sample() ([][]any, error) {
+	t.sample.mu.Lock()
+	raw := make([][]byte, len(t.sample.rows))
+	for i, r := range t.sample.rows {
+		raw[i] = append([]byte(nil), r...) // deep copy: add may recycle entries
+	}
+	t.sample.mu.Unlock()
+	out := make([][]any, 0, len(raw))
+	for _, tup := range raw {
+		vals, err := t.schema.Decode(tup)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vals)
+	}
+	return out, nil
 }
 
 // New binds a table to (pool, rel). The relation must be registered with
@@ -296,8 +351,9 @@ func New(pool *buffer.Pool, rel buffer.RelID, schema Schema) (*Table, error) {
 	if nblocks > 0 {
 		t.lastBlk = nblocks - 1
 		t.hasBlk = true
-		if err := t.Scan(func(TID, []byte) (bool, error) {
+		if err := t.Scan(func(_ TID, tup []byte) (bool, error) {
 			t.ntuples++
+			t.sample.add(tup) // rebuild planner statistics on reopen
 			return true, nil
 		}); err != nil {
 			return nil, err
@@ -354,6 +410,7 @@ func (t *Table) InsertRaw(tup []byte) (TID, error) {
 			tid := TID{Blk: t.lastBlk, Off: off}
 			buf.Release()
 			t.ntuples++
+			t.sample.add(tup)
 			return tid, t.logInsert(tup)
 		} else if !errors.Is(err, page.ErrPageFull) {
 			buf.Release()
@@ -378,6 +435,7 @@ func (t *Table) InsertRaw(tup []byte) (TID, error) {
 	buf.Release()
 	t.lastBlk, t.hasBlk = blk, true
 	t.ntuples++
+	t.sample.add(tup)
 	return TID{Blk: blk, Off: off}, t.logInsert(tup)
 }
 

@@ -38,15 +38,23 @@ type CreateIndexStmt struct {
 	Options map[string]string
 }
 
-// SelectStmt is SELECT cols FROM table [WHERE col = lit]
+// Cond is one comparison predicate in a WHERE clause: Col Op Val.
+// Op is one of "=", "!=", "<", "<=", ">", ">=" (the parser folds "<>"
+// into "!="). Conditions in SelectStmt.Where are AND-chained.
+type Cond struct {
+	Col string
+	Op  string
+	Val Literal
+}
+
+// SelectStmt is SELECT cols FROM table [WHERE col op lit [AND ...]]
 // [ORDER BY col <-> 'vec' [ASC]] [LIMIT n].
 type SelectStmt struct {
 	Columns   []string // "*" allowed alone; "count(*)" as aggregate
 	CountStar bool
 	Table     string
 
-	WhereCol string // empty = no filter
-	WhereVal Literal
+	Where []Cond // AND-chained comparison predicates; empty = no filter
 
 	OrderCol string // empty = no vector ordering
 	QueryVec []float32

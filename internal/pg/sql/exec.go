@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"vecstudy/internal/minheap"
+	"vecstudy/internal/pg/am"
 	"vecstudy/internal/pg/db"
 	"vecstudy/internal/pg/heap"
 	"vecstudy/internal/vec"
@@ -31,6 +32,8 @@ type Setting struct {
 var knownSettings = []Setting{
 	{BufferPartitionsSetting, "", "buffer-mapping partitions of the shared pool (1 = paper's single lock)"},
 	{"efs", "200", "hnsw: search queue length"},
+	{FilterOverfetchSetting, "4", "filtered kNN: post-filter over-fetch multiplier (k' = k*alpha)"},
+	{FilterStrategySetting, "auto", "filtered kNN strategy: auto, pre, post, or intraversal"},
 	{"heap", "n", "ivfflat: top-k heap policy, n (PASE size-n, RC#6) or k (size-k)"},
 	{"nprobe", "20", "ivf: clusters probed per query"},
 	{"threads", "1", "intra-query scan parallelism"},
@@ -59,6 +62,8 @@ func lookupSetting(name string) (Setting, bool) {
 type Session struct {
 	db       *db.DB
 	settings map[string]string
+
+	lastFilter execTrace // what the last filtered vector search did
 }
 
 // NewSession opens a session on d.
@@ -87,6 +92,18 @@ func (s *Session) applySet(name, value string) error {
 	}
 	if _, ok := lookupSetting(name); !ok {
 		return fmt.Errorf("sql: unrecognized setting %q (SHOW ALL lists the known settings)", name)
+	}
+	switch name {
+	case FilterStrategySetting:
+		switch value {
+		case "auto", "pre", "post", "intraversal":
+		default:
+			return fmt.Errorf("sql: SET %s expects auto, pre, post, or intraversal", FilterStrategySetting)
+		}
+	case FilterOverfetchSetting:
+		if n, err := strconv.Atoi(value); err != nil || n < 1 {
+			return fmt.Errorf("sql: SET %s expects a positive integer", FilterOverfetchSetting)
+		}
 	}
 	s.settings[name] = value
 	return nil
@@ -232,19 +249,19 @@ func (s *Session) runSelect(st *SelectStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The predicate is validated against the schema before dispatch, so
+	// an unknown WHERE column errors identically on the scan and vector
+	// paths (the silent-drop bug ignored it entirely on the latter).
+	pred, err := compilePred(st.Where, schema)
+	if err != nil {
+		return nil, err
+	}
 
 	if st.OrderCol != "" {
-		return s.runVectorSearch(st, tbl, outCols)
+		return s.runVectorSearch(st, tbl, outCols, pred)
 	}
 
 	// Plain (optionally filtered) sequential scan.
-	var filterCol = -1
-	if st.WhereCol != "" {
-		filterCol = schema.ColIndex(st.WhereCol)
-		if filterCol < 0 {
-			return nil, fmt.Errorf("sql: no column %q", st.WhereCol)
-		}
-	}
 	res := &Result{Cols: colNames(outCols, schema, st)}
 	count := 0
 	err = tbl.Scan(func(tid heap.TID, tup []byte) (bool, error) {
@@ -252,7 +269,7 @@ func (s *Session) runSelect(st *SelectStmt) (*Result, error) {
 		if err != nil {
 			return false, err
 		}
-		if filterCol >= 0 && !litEquals(st.WhereVal, vals[filterCol]) {
+		if pred != nil && !pred.eval(vals) {
 			return true, nil
 		}
 		count++
@@ -273,9 +290,12 @@ func (s *Session) runSelect(st *SelectStmt) (*Result, error) {
 	return res, nil
 }
 
-// runVectorSearch executes ORDER BY vec <-> '...' [LIMIT k], preferring
-// an index scan and falling back to an exact scan-and-sort.
-func (s *Session) runVectorSearch(st *SelectStmt, tbl *heap.Table, outCols []int) (*Result, error) {
+// runVectorSearch executes [WHERE ...] ORDER BY vec <-> '...' [LIMIT k].
+// Unfiltered queries prefer an index scan and fall back to an exact
+// scan-and-sort; filtered queries go through the planner seam, which
+// picks pre-filter, post-filter, or in-traversal by estimated
+// selectivity (see planner.go).
+func (s *Session) runVectorSearch(st *SelectStmt, tbl *heap.Table, outCols []int, pred *compiledPred) (*Result, error) {
 	schema := tbl.Schema()
 	vcol := schema.ColIndex(st.OrderCol)
 	if vcol < 0 || schema.Cols[vcol].Type != heap.Float4Array {
@@ -291,25 +311,69 @@ func (s *Session) runVectorSearch(st *SelectStmt, tbl *heap.Table, outCols []int
 	}
 
 	idx := s.db.IndexOn(st.Table, st.OrderCol)
-	if idx != nil {
-		hits, err := idx.Search(st.QueryVec, k, s.settings)
+	plan, err := s.planFilter(tbl, idx, pred)
+	if err != nil {
+		return nil, err
+	}
+	s.lastFilter = execTrace{}
+
+	var hits []am.Result
+	switch plan.strategy {
+	case FilterNone:
+		if idx == nil {
+			return s.exactSearch(st, tbl, vcol, k, nil, outCols, res)
+		}
+		hits, err = idx.Search(st.QueryVec, k, s.settings)
+	case FilterPre:
+		return s.exactSearch(st, tbl, vcol, k, pred, outCols, res)
+	case FilterPost:
+		hits, err = s.postFilterSearch(tbl, idx, st.QueryVec, k, pred)
+	case FilterInTraversal:
+		hits, err = idx.(am.FilteredIndex).SearchFiltered(st.QueryVec, k, s.settings, predicateFor(tbl, pred))
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, h := range hits {
+		row, err := s.fetchRow(tbl, h.TID, outCols, h.Dist)
 		if err != nil {
 			return nil, err
 		}
-		for _, h := range hits {
-			row, err := s.fetchRow(tbl, h.TID, outCols, h.Dist)
-			if err != nil {
-				return nil, err
-			}
-			res.Rows = append(res.Rows, row)
-		}
-		return res, nil
+		res.Rows = append(res.Rows, row)
 	}
+	return res, nil
+}
 
-	// Exact fallback: brute-force scan with a bounded heap.
+// execTrace records what the last filtered search actually did, for
+// in-package tests and debugging (the planner's choice is visible to
+// clients through EXPLAIN).
+type execTrace struct {
+	fetched  int // index hits pulled across every post-filter refill round
+	refills  int // extra search rounds beyond the first
+	strategy FilterStrategy
+}
+
+// exactSearch is the brute-force path: one heap pass, predicate pushed
+// below the distance computation, survivors ranked in a bounded top-k
+// heap. It serves both the unfiltered no-index fallback (pred == nil)
+// and the pre-filter strategy.
+func (s *Session) exactSearch(st *SelectStmt, tbl *heap.Table, vcol, k int, pred *compiledPred, outCols []int, res *Result) (*Result, error) {
+	if pred != nil {
+		s.lastFilter.strategy = FilterPre
+	}
+	schema := tbl.Schema()
 	top := minheap.NewTopK(k)
 	var tids []heap.TID
 	err := tbl.Scan(func(tid heap.TID, tup []byte) (bool, error) {
+		if pred != nil {
+			vals, err := schema.Decode(tup)
+			if err != nil {
+				return false, err
+			}
+			if !pred.eval(vals) {
+				return true, nil
+			}
+		}
 		v, err := schema.VectorAt(tup, vcol)
 		if err != nil {
 			return false, err
@@ -332,6 +396,56 @@ func (s *Session) runVectorSearch(st *SelectStmt, tbl *heap.Table, outCols []int
 		res.Rows = append(res.Rows, row)
 	}
 	return res, nil
+}
+
+// postFilterSearch over-fetches k' = k·α from the index, keeps the hits
+// satisfying pred, and doubles k' until k survive or k' has reached the
+// table size (the index is exhausted). Termination is unconditional:
+// k' grows geometrically to the n cap, so a predicate matching zero
+// rows performs O(log n) rounds and returns empty, with total fetched
+// hits bounded by the k'-series sum (< 4n).
+func (s *Session) postFilterSearch(tbl *heap.Table, idx am.Index, query []float32, k int, cp *compiledPred) ([]am.Result, error) {
+	s.lastFilter.strategy = FilterPost
+	alpha := 4
+	if v, ok := s.settings[FilterOverfetchSetting]; ok {
+		if n, err := strconv.Atoi(v); err == nil && n >= 1 {
+			alpha = n
+		}
+	}
+	n := int(tbl.NTuples())
+	pred := predicateFor(tbl, cp)
+	kPrime := k * alpha
+	if kPrime > n || kPrime < k { // cap at table size; guard overflow
+		kPrime = n
+	}
+	for {
+		hits, err := idx.Search(query, kPrime, s.settings)
+		if err != nil {
+			return nil, err
+		}
+		s.lastFilter.fetched += len(hits)
+		survivors := make([]am.Result, 0, k)
+		for _, h := range hits {
+			ok, err := pred(h.TID)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				survivors = append(survivors, h)
+				if len(survivors) == k {
+					break
+				}
+			}
+		}
+		if len(survivors) >= k || kPrime >= n || len(hits) < kPrime {
+			return survivors, nil
+		}
+		s.lastFilter.refills++
+		kPrime *= 2
+		if kPrime > n || kPrime < 0 {
+			kPrime = n
+		}
+	}
 }
 
 // fetchRow resolves a TID to projected output values.
@@ -402,29 +516,41 @@ func project(vals []any, outCols []int, dist float32) []any {
 	return row
 }
 
-func litEquals(lit Literal, v any) bool {
-	switch val := v.(type) {
-	case int32:
-		return lit.IsNum && int32(lit.Num) == val
-	case int64:
-		return lit.IsNum && int64(lit.Num) == val
-	case float32:
-		return lit.IsNum && float32(lit.Num) == val
-	case string:
-		return lit.IsStr && lit.Str == val
-	}
-	return false
-}
-
-// runExplain renders the plan the inner statement would use.
+// runExplain renders the plan the inner statement would use, including
+// the predicate and the filter strategy the planner picks for filtered
+// vector searches.
 func (s *Session) runExplain(st *ExplainStmt) (*Result, error) {
 	sel, ok := st.Inner.(*SelectStmt)
 	if !ok {
 		return &Result{Cols: []string{"QUERY PLAN"}, Rows: [][]any{{"Utility Statement"}}}, nil
 	}
+
+	// Plan the predicate when the table exists; EXPLAIN of a missing
+	// table still renders a shape-only plan (the statement would fail at
+	// execution, but EXPLAIN has no DDL side effects to protect).
+	var pred *compiledPred
+	plan := filterPlan{strategy: FilterNone}
+	if tbl, err := s.db.Table(sel.Table); err == nil {
+		pred, err = compilePred(sel.Where, tbl.Schema())
+		if err != nil {
+			return nil, err
+		}
+		if sel.OrderCol != "" {
+			if plan, err = s.planFilter(tbl, s.db.IndexOn(sel.Table, sel.OrderCol), pred); err != nil {
+				return nil, err
+			}
+		}
+	}
+
 	var lines []string
 	if sel.OrderCol != "" {
-		if idx := s.db.IndexOn(sel.Table, sel.OrderCol); idx != nil {
+		filterLine := func(indent string) {
+			if pred == nil {
+				return
+			}
+			lines = append(lines, fmt.Sprintf("%sFilter: %s (%s, est sel=%.2f)", indent, pred, plan.strategy, plan.selectivity))
+		}
+		if idx := s.db.IndexOn(sel.Table, sel.OrderCol); idx != nil && plan.strategy != FilterPre {
 			params := make([]string, 0, len(s.settings))
 			for k, v := range s.settings {
 				params = append(params, k+"="+v)
@@ -434,17 +560,23 @@ func (s *Session) runExplain(st *ExplainStmt) (*Result, error) {
 				fmt.Sprintf("Limit (k=%d)", sel.Limit),
 				fmt.Sprintf("  -> Index Scan using %s on %s (%s)", idx.AM(), sel.Table, strings.Join(params, " ")),
 			)
+			filterLine("       ")
 		} else {
 			lines = append(lines,
 				fmt.Sprintf("Limit (k=%d)", sel.Limit),
 				"  -> Sort by vector distance",
 				fmt.Sprintf("    -> Seq Scan on %s", sel.Table),
 			)
+			filterLine("       ")
 		}
 	} else {
 		lines = append(lines, fmt.Sprintf("Seq Scan on %s", sel.Table))
-		if sel.WhereCol != "" {
-			lines = append(lines, fmt.Sprintf("  Filter: %s = ...", sel.WhereCol))
+		if len(sel.Where) > 0 {
+			if pred == nil {
+				// Missing table: render from the AST instead.
+				pred = &compiledPred{src: sel.Where}
+			}
+			lines = append(lines, fmt.Sprintf("  Filter: %s", pred))
 		}
 	}
 	res := &Result{Cols: []string{"QUERY PLAN"}}

@@ -1,0 +1,341 @@
+package sql
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// loadAttrVectors creates a table with a low-cardinality attribute
+// column (attr = id % 100, so "attr < K" has selectivity K/100) and
+// line-layout vectors, the shape the filtered-search tests and the
+// benchrunner's filtered experiment share.
+func loadAttrVectors(t *testing.T, s *Session, n int) {
+	t.Helper()
+	mustExec(t, s, "CREATE TABLE t (id int, attr int, vec float[])")
+	var b strings.Builder
+	b.WriteString("INSERT INTO t VALUES ")
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "(%d, %d, '{%d, %d, 0, 0}')", i, i%100, i, i)
+	}
+	mustExec(t, s, b.String())
+}
+
+// exhaustiveIVF builds an ivfflat index and sets nprobe to cover every
+// cluster, so index search is exact and parity checks can demand
+// identical row sets rather than recall bounds.
+func exhaustiveIVF(t *testing.T, s *Session) {
+	t.Helper()
+	mustExec(t, s, "CREATE INDEX ivf_idx ON t USING ivfflat (vec) WITH (clusters = 16, sample_ratio = 1, seed = 1)")
+	mustExec(t, s, "SET nprobe = 16")
+}
+
+// filteredGroundTruth computes the exact answer to
+// WHERE attr < attrBound ORDER BY vec <-> {q,q,0,0} LIMIT k
+// over the loadAttrVectors layout.
+func filteredGroundTruth(n int, attrBound, q float64, k int) []int32 {
+	type cand struct {
+		id   int32
+		dist float64
+	}
+	var cands []cand
+	for i := 0; i < n; i++ {
+		if float64(i%100) < attrBound {
+			d := float64(i) - q
+			cands = append(cands, cand{id: int32(i), dist: 2 * d * d})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].dist < cands[j].dist })
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	ids := make([]int32, len(cands))
+	for i, c := range cands {
+		ids[i] = c.id
+	}
+	return ids
+}
+
+func resultIDs(res *Result) []int32 {
+	ids := make([]int32, len(res.Rows))
+	for i, row := range res.Rows {
+		ids[i] = row[0].(int32)
+	}
+	return ids
+}
+
+func idsEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFilteredVectorSearchAppliesPredicate is the regression test for
+// the silent-drop bug: a WHERE clause on a kNN query used to parse
+// cleanly and then be ignored, returning the unfiltered top-k.
+func TestFilteredVectorSearchAppliesPredicate(t *testing.T) {
+	s := newSession(t)
+	loadAttrVectors(t, s, 300)
+	exhaustiveIVF(t, s)
+	// The unfiltered top-5 near the origin is ids 0..4 with attr 0..4 —
+	// every one violates the predicate, so the old behavior returned
+	// rows the query excluded.
+	res := mustExec(t, s, "SELECT id, attr FROM t WHERE attr >= 90 ORDER BY vec <-> '{0, 0, 0, 0}' LIMIT 5")
+	if len(res.Rows) != 5 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row[1].(int32) < 90 {
+			t.Fatalf("predicate dropped: returned attr=%v < 90 (row %v)", row[1], row)
+		}
+	}
+	if got, want := resultIDs(res), []int32{90, 91, 92, 93, 94}; !idsEqual(got, want) {
+		t.Errorf("filtered top-5 = %v, want %v", got, want)
+	}
+}
+
+// TestFilteredParityAcrossStrategies runs the same filtered queries at
+// the acceptance selectivities {0.01, 0.1, 0.5, 0.9} under every
+// strategy (auto, forced pre, forced post, forced in-traversal) and
+// demands results identical to the exact ground truth. nprobe covers
+// all clusters, so the index paths have no approximation excuse.
+func TestFilteredParityAcrossStrategies(t *testing.T) {
+	const n, k = 400, 5
+	s := newSession(t)
+	loadAttrVectors(t, s, n)
+	exhaustiveIVF(t, s)
+	for _, sel := range []float64{0.01, 0.1, 0.5, 0.9} {
+		attrBound := sel * 100
+		q := fmt.Sprintf("SELECT id FROM t WHERE attr < %g ORDER BY vec <-> '{200.3, 200.3, 0, 0}' LIMIT %d", attrBound, k)
+		want := filteredGroundTruth(n, attrBound, 200.3, k)
+		for _, strat := range []string{"auto", "pre", "post", "intraversal"} {
+			mustExec(t, s, "SET filter_strategy = "+strat)
+			got := resultIDs(mustExec(t, s, q))
+			if !idsEqual(got, want) {
+				t.Errorf("sel=%g strategy=%s: ids = %v, want %v", sel, strat, got, want)
+			}
+		}
+	}
+	mustExec(t, s, "SET filter_strategy = auto")
+}
+
+// TestFilteredHNSWInTraversal drives the in-traversal path through the
+// graph AM: results must satisfy the predicate and find the nearest
+// matching row even though the unfiltered nearest rows are much closer.
+func TestFilteredHNSWInTraversal(t *testing.T) {
+	s := newSession(t)
+	loadAttrVectors(t, s, 300)
+	mustExec(t, s, "CREATE INDEX h_idx ON t USING hnsw (vec) WITH (bnn = 8, efb = 40, seed = 2)")
+	mustExec(t, s, "SET efs = 300")
+	mustExec(t, s, "SET filter_strategy = intraversal")
+	res := mustExec(t, s, "SELECT id, attr FROM t WHERE attr >= 50 ORDER BY vec <-> '{10, 10, 0, 0}' LIMIT 3")
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row[1].(int32) < 50 {
+			t.Errorf("in-traversal leaked attr=%v < 50", row[1])
+		}
+	}
+	// Nearest row with attr >= 50 to {10,10} is id 50.
+	if res.Rows[0][0].(int32) != 50 {
+		t.Errorf("nearest filtered id = %v, want 50", res.Rows[0][0])
+	}
+}
+
+// TestFilteredUnknownColumnOnVectorPath: an unknown WHERE column must
+// fail identically whether or not the query has an ORDER BY vector
+// clause or an index — the silent-drop bug also swallowed this error.
+func TestFilteredUnknownColumnOnVectorPath(t *testing.T) {
+	s := newSession(t)
+	loadAttrVectors(t, s, 50)
+	check := func(q string) {
+		t.Helper()
+		_, err := s.Execute(q)
+		if err == nil {
+			t.Errorf("no error for: %s", q)
+			return
+		}
+		if !strings.Contains(err.Error(), `no column "nope"`) {
+			t.Errorf("%s: error %q, want sql: no column \"nope\"", q, err)
+		}
+	}
+	check("SELECT id FROM t WHERE nope = 1")
+	check("SELECT id FROM t WHERE nope = 1 ORDER BY vec <-> '{1,1,0,0}' LIMIT 3")
+	exhaustiveIVF(t, s)
+	check("SELECT id FROM t WHERE nope = 1 ORDER BY vec <-> '{1,1,0,0}' LIMIT 3")
+	check("SELECT id FROM t WHERE attr = 1 AND nope = 1 ORDER BY vec <-> '{1,1,0,0}' LIMIT 3")
+}
+
+// TestExplainFilteredPlans checks EXPLAIN renders the real predicate
+// text (not a placeholder) plus the chosen strategy on vector plans.
+func TestExplainFilteredPlans(t *testing.T) {
+	s := newSession(t)
+	loadAttrVectors(t, s, 300)
+	planText := func(q string) string {
+		res := mustExec(t, s, q)
+		var b strings.Builder
+		for _, row := range res.Rows {
+			b.WriteString(row[0].(string))
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	// Plain (non-vector) scan: predicate with its literal.
+	if p := planText("EXPLAIN SELECT id FROM t WHERE attr = 7 AND id < 200"); !strings.Contains(p, "Filter: attr = 7 AND id < 200") {
+		t.Errorf("plain-scan EXPLAIN lost the predicate:\n%s", p)
+	}
+	// Vector query without an index: pre-filter under a seq scan.
+	p := planText("EXPLAIN SELECT id FROM t WHERE attr < 3 ORDER BY vec <-> '{1,1,0,0}' LIMIT 5")
+	if !strings.Contains(p, "Filter: attr < 3") || !strings.Contains(p, "pre-filter") {
+		t.Errorf("no-index filtered EXPLAIN:\n%s", p)
+	}
+	// With an index the auto planner's choice shows strategy + estimate.
+	exhaustiveIVF(t, s)
+	p = planText("EXPLAIN SELECT id FROM t WHERE attr < 90 ORDER BY vec <-> '{1,1,0,0}' LIMIT 5")
+	if !strings.Contains(p, "Index Scan") || !strings.Contains(p, "Filter: attr < 90") || !strings.Contains(p, "post-filter") {
+		t.Errorf("indexed filtered EXPLAIN:\n%s", p)
+	}
+	if !strings.Contains(p, "est sel=") {
+		t.Errorf("EXPLAIN missing selectivity estimate:\n%s", p)
+	}
+	// Text literals render quoted.
+	mustExec(t, s, "CREATE TABLE txt (name text, vec float[])")
+	mustExec(t, s, "INSERT INTO txt VALUES ('ann', '{1,2}')")
+	if p := planText("EXPLAIN SELECT name FROM txt WHERE name = 'ann'"); !strings.Contains(p, "Filter: name = 'ann'") {
+		t.Errorf("text literal EXPLAIN:\n%s", p)
+	}
+}
+
+// TestPlannerAutoStrategyBySelectivity pins the auto policy's
+// thresholds: highly selective predicates pre-filter, middling ones run
+// in-traversal, non-selective ones post-filter.
+func TestPlannerAutoStrategyBySelectivity(t *testing.T) {
+	s := newSession(t)
+	loadAttrVectors(t, s, 400)
+	exhaustiveIVF(t, s)
+	strategyOf := func(attrBound int) string {
+		q := fmt.Sprintf("EXPLAIN SELECT id FROM t WHERE attr < %d ORDER BY vec <-> '{1,1,0,0}' LIMIT 5", attrBound)
+		res := mustExec(t, s, q)
+		for _, row := range res.Rows {
+			line := row[0].(string)
+			for _, st := range []string{"pre-filter", "post-filter", "in-traversal"} {
+				if strings.Contains(line, st) {
+					return st
+				}
+			}
+		}
+		t.Fatalf("no strategy in EXPLAIN for attr < %d: %v", attrBound, res.Rows)
+		return ""
+	}
+	if got := strategyOf(2); got != "pre-filter" {
+		t.Errorf("sel≈0.02 chose %s, want pre-filter", got)
+	}
+	if got := strategyOf(30); got != "in-traversal" {
+		t.Errorf("sel≈0.30 chose %s, want in-traversal", got)
+	}
+	if got := strategyOf(90); got != "post-filter" {
+		t.Errorf("sel≈0.90 chose %s, want post-filter", got)
+	}
+}
+
+// TestZeroMatchPostFilterTerminates: a predicate matching nothing must
+// return zero rows (not loop), and the refill loop's total index
+// fetches must stay within the geometric-series bound (< 4n).
+func TestZeroMatchPostFilterTerminates(t *testing.T) {
+	const n = 300
+	s := newSession(t)
+	loadAttrVectors(t, s, n)
+	exhaustiveIVF(t, s)
+	mustExec(t, s, "SET filter_strategy = post")
+	res := mustExec(t, s, "SELECT id FROM t WHERE attr = 555 ORDER BY vec <-> '{1,1,0,0}' LIMIT 10")
+	if len(res.Rows) != 0 {
+		t.Fatalf("zero-match query returned %d rows", len(res.Rows))
+	}
+	if s.lastFilter.strategy != FilterPost {
+		t.Fatalf("strategy = %v, want post-filter", s.lastFilter.strategy)
+	}
+	if s.lastFilter.fetched > 4*n {
+		t.Errorf("fetched %d hits, bound is %d", s.lastFilter.fetched, 4*n)
+	}
+	if maxRefills := int(math.Log2(n)) + 1; s.lastFilter.refills > maxRefills {
+		t.Errorf("refills = %d, want <= %d", s.lastFilter.refills, maxRefills)
+	}
+}
+
+// TestFilterSettingsValidation pins SET-time validation of the two new
+// knobs and their round trip through SHOW.
+func TestFilterSettingsValidation(t *testing.T) {
+	s := newSession(t)
+	for _, q := range []string{
+		"SET filter_strategy = bogus",
+		"SET filter_strategy = 3",
+		"SET filter_overfetch = 0",
+		"SET filter_overfetch = -2",
+		"SET filter_overfetch = lots",
+	} {
+		if _, err := s.Execute(q); err == nil {
+			t.Errorf("accepted invalid setting: %s", q)
+		}
+	}
+	mustExec(t, s, "SET filter_strategy = intraversal")
+	if res := mustExec(t, s, "SHOW filter_strategy"); res.Rows[0][0].(string) != "intraversal" {
+		t.Errorf("SHOW filter_strategy = %v", res.Rows[0][0])
+	}
+	mustExec(t, s, "SET filter_overfetch = 8")
+	if res := mustExec(t, s, "SHOW filter_overfetch"); res.Rows[0][0].(string) != "8" {
+		t.Errorf("SHOW filter_overfetch = %v", res.Rows[0][0])
+	}
+}
+
+// TestWherePredicateOperators exercises every comparison operator, AND
+// chains, text comparison, and negative literals (which stress the
+// lexer's <-> disambiguation: `attr > -5` must not lex as `<->`).
+func TestWherePredicateOperators(t *testing.T) {
+	s := newSession(t)
+	loadAttrVectors(t, s, 100)
+	cases := []struct {
+		where string
+		want  int
+	}{
+		{"attr = 7", 1},
+		{"attr != 7", 99},
+		{"attr <> 7", 99},
+		{"attr < 10", 10},
+		{"attr <= 10", 11},
+		{"attr > 89", 10},
+		{"attr >= 89", 11},
+		{"attr >= 10 AND attr < 20", 10},
+		{"attr > -5", 100},
+		{"id < -1", 0},
+	}
+	for _, c := range cases {
+		res := mustExec(t, s, "SELECT count(*) FROM t WHERE "+c.where)
+		if got := res.Rows[0][0].(int64); got != int64(c.want) {
+			t.Errorf("WHERE %s: count = %d, want %d", c.where, got, c.want)
+		}
+		// The same predicate on the vector path must agree.
+		res = mustExec(t, s, "SELECT id FROM t WHERE "+c.where+" ORDER BY vec <-> '{0,0,0,0}' LIMIT 1000")
+		if got := len(res.Rows); got != c.want {
+			t.Errorf("WHERE %s on kNN path: %d rows, want %d", c.where, got, c.want)
+		}
+	}
+	// Text comparison on the vector path.
+	mustExec(t, s, "CREATE TABLE names (n text, vec float[])")
+	mustExec(t, s, "INSERT INTO names VALUES ('alpha', '{0,0}'), ('beta', '{1,1}'), ('gamma', '{2,2}')")
+	res := mustExec(t, s, "SELECT n FROM names WHERE n > 'alpha' ORDER BY vec <-> '{0,0}' LIMIT 5")
+	if len(res.Rows) != 2 || res.Rows[0][0].(string) != "beta" {
+		t.Errorf("text predicate rows = %v", res.Rows)
+	}
+}

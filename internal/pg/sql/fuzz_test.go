@@ -16,6 +16,14 @@ func FuzzParse(f *testing.F) {
 		"INSERT INTO t VALUES (1, '{1.5, 2.5, 3.5}')",
 		"SELECT count(*) FROM t",
 		"SELECT id, vec FROM t WHERE id = 7",
+		"SELECT id FROM t WHERE price < 10 AND cat != 'x' ORDER BY vec <-> '{1, 1, 0, 0}' LIMIT 5",
+		"SELECT id FROM t WHERE a <= 1 AND b >= 2 AND c <> 3 AND d > -4.5 ORDER BY vec <-> '{0,0}' LIMIT 1",
+		"SELECT count(*) FROM t WHERE attr >= 90",
+		"SELECT id FROM t WHERE a < ORDER BY vec <-> '{1,1}' LIMIT 1",
+		"SELECT id FROM t WHERE a = 1 AND ORDER BY vec <-> '{1,1}' LIMIT 1",
+		"SELECT id FROM t WHERE AND a = 1",
+		"SELECT id FROM t WHERE a <-> 1",
+		"SELECT id FROM t WHERE a = -",
 		"SELECT id FROM t ORDER BY vec <-> '{10.2, 10.2, 0, 0}' LIMIT 3",
 		"SELECT id, distance FROM t ORDER BY vec <-> '{42.1, 42.1}'::pase ASC LIMIT 5",
 		"CREATE INDEX ivf_idx ON t USING ivfflat (vec) WITH (clusters = 16, sample_ratio = 1, seed = 1)",

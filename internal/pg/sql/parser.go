@@ -209,6 +209,18 @@ func (p *parser) parseLiteral() (Literal, error) {
 	case t.kind == tokIdent && t.text == "null":
 		p.pos++
 		return Literal{IsNull: true}, nil
+	case t.kind == tokPunct && t.text == "-":
+		// Unary minus as its own token: the lexer refuses to start a
+		// number directly after '<' (the <-> ambiguity), so "a < -5"
+		// reaches the parser as '-' followed by '5'.
+		if nxt := p.toks[p.pos+1]; nxt.kind == tokNumber {
+			p.pos += 2
+			v, err := strconv.ParseFloat(nxt.text, 64)
+			if err != nil {
+				return Literal{}, p.errorf("bad number %q", nxt.text)
+			}
+			return Literal{Num: -v, IsNum: true}, nil
+		}
 	}
 	return Literal{}, p.errorf("expected literal, found %q", t.text)
 }
@@ -345,18 +357,16 @@ func (p *parser) parseSelect() (Stmt, error) {
 	sel.Table = table.text
 
 	if p.accept(tokIdent, "where") {
-		col, err := p.expect(tokIdent, "")
-		if err != nil {
-			return nil, err
+		for {
+			cond, err := p.parseCond()
+			if err != nil {
+				return nil, err
+			}
+			sel.Where = append(sel.Where, cond)
+			if !p.accept(tokIdent, "and") {
+				break
+			}
 		}
-		if _, err := p.expect(tokPunct, "="); err != nil {
-			return nil, err
-		}
-		lit, err := p.parseLiteral()
-		if err != nil {
-			return nil, err
-		}
-		sel.WhereCol, sel.WhereVal = col.text, lit
 	}
 
 	if p.accept(tokIdent, "order") {
@@ -393,6 +403,36 @@ func (p *parser) parseSelect() (Stmt, error) {
 		sel.Limit, sel.HasLimit = v, true
 	}
 	return sel, nil
+}
+
+// condOps is the closed set of comparison operators a WHERE condition
+// accepts; "<>" is normalized to "!=" at parse time.
+var condOps = []string{"=", "!=", "<>", "<=", ">=", "<", ">"}
+
+// parseCond parses one `col op literal` comparison.
+func (p *parser) parseCond() (Cond, error) {
+	col, err := p.expect(tokIdent, "")
+	if err != nil {
+		return Cond{}, err
+	}
+	op := ""
+	for _, cand := range condOps {
+		if p.accept(tokPunct, cand) {
+			op = cand
+			break
+		}
+	}
+	if op == "" {
+		return Cond{}, p.errorf("expected a comparison operator after %q, found %q", col.text, p.cur().text)
+	}
+	if op == "<>" {
+		op = "!="
+	}
+	lit, err := p.parseLiteral()
+	if err != nil {
+		return Cond{}, err
+	}
+	return Cond{Col: col.text, Op: op, Val: lit}, nil
 }
 
 func (p *parser) parseSet() (Stmt, error) {

@@ -51,6 +51,17 @@ func (ix *Index) Insert(v []float32, tid heap.TID) error { return ix.inner.Inser
 // SizeBytes implements am.Index.
 func (ix *Index) SizeBytes() (int64, error) { return ix.inner.SizeBytes() }
 
+// SearchFiltered implements am.FilteredIndex by delegating to the
+// underlying PASE bucket structure's in-traversal scan: the predicate
+// gates candidates inside the bucket walk, which is the behaviour the
+// extension family grew after its early releases.
+func (ix *Index) SearchFiltered(query []float32, k int, params map[string]string, pred am.Predicate) ([]am.Result, error) {
+	if pred == nil {
+		return ix.Search(query, k, params)
+	}
+	return ix.inner.SearchFiltered(query, k, params, pred)
+}
+
 // Search implements am.Index: full candidate materialization plus
 // comparison sort, then a heap re-fetch per returned row.
 func (ix *Index) Search(query []float32, k int, params map[string]string) ([]am.Result, error) {
