@@ -1,7 +1,8 @@
 // Package gohygiene bans fire-and-forget goroutines on serving paths.
 //
-// The serving layers (internal/server, internal/cluster,
-// internal/client) shut down by closing listeners, draining
+// The serving layers (internal/batch, internal/server,
+// internal/cluster, internal/client) shut down by closing listeners,
+// draining
 // WaitGroups, and closing stop channels; a goroutine spawned with no
 // tie to any of those outlives Close, races the test harness, and — on
 // the benchmark paths — keeps consuming CPU after the measurement
@@ -35,12 +36,13 @@ import (
 // Analyzer is the goroutine-hygiene checker.
 var Analyzer = &analysis.Analyzer{
 	Name: "gohygiene",
-	Doc:  "goroutines in internal/server, internal/cluster, internal/client must be WaitGroup-registered or shutdown-aware (context/channel)",
+	Doc:  "goroutines in internal/batch, internal/server, internal/cluster, internal/client must be WaitGroup-registered or shutdown-aware (context/channel)",
 	Run:  run,
 }
 
 // scopedPkgs are the serving-path packages the invariant applies to.
 var scopedPkgs = []string{
+	"vecstudy/internal/batch",
 	"vecstudy/internal/server",
 	"vecstudy/internal/cluster",
 	"vecstudy/internal/client",

@@ -18,3 +18,10 @@ func TestGoHygiene(t *testing.T) {
 func TestOutOfScope(t *testing.T) {
 	analysistest.RunPath(t, ".", gohygiene.Analyzer, "quiet", "vecstudy/internal/pg/other")
 }
+
+// TestBatcherScope type-checks the coalescer-shaped fixture under the
+// internal/batch import path, which joined the scoped packages with the
+// batched-execution subsystem.
+func TestBatcherScope(t *testing.T) {
+	analysistest.RunPath(t, ".", gohygiene.Analyzer, "batcher", "vecstudy/internal/batch")
+}

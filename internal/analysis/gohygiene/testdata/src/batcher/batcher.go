@@ -1,0 +1,55 @@
+// Package batcher is the gohygiene fixture for the query-coalescer
+// shapes, type-checked under the internal/batch import path. The real
+// coalescer spawns no goroutine at all — its deferred flush rides
+// time.AfterFunc and delivery goes through buffered channels — so the
+// hygienic shapes here are what any future background work in that
+// package must look like, and the violation is the shortcut it must
+// not take.
+package batcher
+
+import (
+	"sync"
+	"time"
+)
+
+type group struct {
+	members []chan int
+}
+
+func (g *group) execute() {}
+
+// --- violations -------------------------------------------------------------
+
+// flushAsync is the tempting shortcut: detach the group and kick its
+// execution loose. Nothing observes the goroutine; a server draining
+// mid-window would leak it.
+func flushAsync(g *group) {
+	go g.execute() // want "fire-and-forget goroutine on a serving path"
+}
+
+// --- must not flag ----------------------------------------------------------
+
+// flushByTimer is the coalescer's actual idiom: time.AfterFunc is a
+// plain call, not a go statement, and the timer is Stop-able.
+func flushByTimer(g *group, window time.Duration) *time.Timer {
+	return time.AfterFunc(window, g.execute)
+}
+
+// deliver fans outcomes out through buffered channels; the channel send
+// ties the goroutine's lifetime to its receivers.
+func deliver(g *group, v int) {
+	go func() {
+		for _, ch := range g.members {
+			ch <- v
+		}
+	}()
+}
+
+// flushTracked registers the flush with the server's drain WaitGroup.
+func flushTracked(g *group, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		g.execute()
+	}()
+}

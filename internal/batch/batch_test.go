@@ -1,0 +1,344 @@
+package batch
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	_ "vecstudy/internal/pase/all"
+	"vecstudy/internal/pg/db"
+	"vecstudy/internal/pg/sql"
+)
+
+// newDB opens a fresh database with n 4-dim rows whose coordinates
+// repeat (i mod n/2), so every vector has an exact duplicate at a
+// different TID. Distance ties are everywhere, which is precisely what
+// makes byte-identity a strong check: any deviation from the solo push
+// order shows up as swapped tie rows.
+func newDB(t *testing.T, n int) *db.DB {
+	t.Helper()
+	d, err := db.Open(db.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	s := sql.NewSession(d)
+	mustExec(t, s, "CREATE TABLE t (id int, vec float[])")
+	var b strings.Builder
+	b.WriteString("INSERT INTO t VALUES ")
+	half := n / 2
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "(%d, '{%d, %d, 0, 0}')", i, i%half, i%half)
+	}
+	mustExec(t, s, b.String())
+	return d
+}
+
+func mustExec(t *testing.T, s interface {
+	Execute(string) (*sql.Result, error)
+}, q string) *sql.Result {
+	t.Helper()
+	res, err := s.Execute(q)
+	if err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+	return res
+}
+
+// renderRows flattens a result to an exact textual form: float32 cells
+// are rendered by bit pattern, so equality means byte-identity.
+func renderRows(res *sql.Result) string {
+	var b strings.Builder
+	for _, row := range res.Rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteByte('|')
+			}
+			switch v := cell.(type) {
+			case float32:
+				fmt.Fprintf(&b, "f%08x", math.Float32bits(v))
+			default:
+				fmt.Fprintf(&b, "%v", v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func queryFor(i int) string {
+	return fmt.Sprintf("SELECT id, distance FROM t ORDER BY vec <-> '{%d.3, %d.1, 0, 0}' LIMIT 7", (i*5)%40, (i*3)%40)
+}
+
+// runParity executes the same B queries solo and as one coalesced
+// probe, asserting byte-identical results. setup statements (CREATE
+// INDEX, SET ...) run on every session; SETs are replayed per session
+// so the group key matches across the batch.
+func runParity(t *testing.T, d *db.DB, B int, index string, sets []string, queries func(int) string) {
+	t.Helper()
+	if index != "" {
+		mustExec(t, sql.NewSession(d), index)
+	}
+	// Solo baselines on a bare SQL session.
+	want := make([]string, B)
+	for i := 0; i < B; i++ {
+		s := sql.NewSession(d)
+		for _, set := range sets {
+			mustExec(t, s, set)
+		}
+		want[i] = renderRows(mustExec(t, s, queries(i)))
+	}
+
+	co := NewCoalescer()
+	got := make([]string, B)
+	errs := make([]error, B)
+	var wg sync.WaitGroup
+	for i := 0; i < B; i++ {
+		sess := NewSession(sql.NewSession(d), co)
+		for _, set := range sets {
+			mustExec(t, sess, set)
+		}
+		mustExec(t, sess, fmt.Sprintf("SET batch_window = %d", 500000))
+		mustExec(t, sess, fmt.Sprintf("SET batch_max = %d", B))
+		wg.Add(1)
+		go func(i int, sess *Session) {
+			defer wg.Done()
+			res, err := sess.Execute(queries(i))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			got[i] = renderRows(res)
+		}(i, sess)
+	}
+	wg.Wait()
+	for i := 0; i < B; i++ {
+		if errs[i] != nil {
+			t.Fatalf("query %d: %v", i, errs[i])
+		}
+		if got[i] != want[i] {
+			t.Errorf("query %d: batched result differs from solo\nsolo:\n%s\nbatched:\n%s", i, want[i], got[i])
+		}
+	}
+	if co.batched.Load() != int64(B) {
+		t.Errorf("batched counter = %d, want %d", co.batched.Load(), B)
+	}
+	if co.probes.Load() == 0 {
+		t.Error("no multi-query probe was flushed")
+	}
+}
+
+func TestParityIVFFlat(t *testing.T) {
+	d := newDB(t, 400)
+	runParity(t, d, 8,
+		"CREATE INDEX idx ON t USING ivfflat (vec) WITH (clusters = 16, sample_ratio = 1, seed = 1)",
+		[]string{"SET nprobe = 4"}, queryFor)
+}
+
+func TestParityIVFFlatBoundedHeap(t *testing.T) {
+	d := newDB(t, 400)
+	runParity(t, d, 6,
+		"CREATE INDEX idx ON t USING ivfflat (vec) WITH (clusters = 16, sample_ratio = 1, seed = 1)",
+		[]string{"SET nprobe = 4", "SET heap = k"}, queryFor)
+}
+
+func TestParityIVFPQ(t *testing.T) {
+	d := newDB(t, 400)
+	runParity(t, d, 8,
+		"CREATE INDEX idx ON t USING ivfpq (vec) WITH (clusters = 16, sample_ratio = 1, seed = 1, m = 2, ksub = 16)",
+		[]string{"SET nprobe = 4"}, queryFor)
+}
+
+func TestParityHNSW(t *testing.T) {
+	d := newDB(t, 300)
+	runParity(t, d, 6,
+		"CREATE INDEX idx ON t USING hnsw (vec) WITH (bnn = 8, efb = 40, seed = 2)",
+		[]string{"SET efs = 64"}, queryFor)
+}
+
+func TestParityExactNoIndex(t *testing.T) {
+	d := newDB(t, 300)
+	runParity(t, d, 8, "", nil, queryFor)
+}
+
+func TestParityFilteredInTraversal(t *testing.T) {
+	d := newDB(t, 400)
+	runParity(t, d, 6,
+		"CREATE INDEX idx ON t USING ivfflat (vec) WITH (clusters = 16, sample_ratio = 1, seed = 1)",
+		[]string{"SET nprobe = 4", "SET filter_strategy = intraversal"},
+		func(i int) string {
+			return fmt.Sprintf("SELECT id, distance FROM t WHERE id < %d ORDER BY vec <-> '{%d.3, %d.1, 0, 0}' LIMIT 5", 120+i*10, (i*5)%40, (i*3)%40)
+		})
+}
+
+func TestParityFilteredPre(t *testing.T) {
+	d := newDB(t, 400)
+	runParity(t, d, 6,
+		"CREATE INDEX idx ON t USING ivfflat (vec) WITH (clusters = 16, sample_ratio = 1, seed = 1)",
+		[]string{"SET filter_strategy = pre"},
+		func(i int) string {
+			// Different predicates sharing one exact group: per-query
+			// ordinal counters must keep tie ordering solo-identical.
+			return fmt.Sprintf("SELECT id, distance FROM t WHERE id >= %d ORDER BY vec <-> '{%d.3, %d.1, 0, 0}' LIMIT 5", i*7, (i*5)%40, (i*3)%40)
+		})
+}
+
+// TestWindowZeroDegenerates proves batch_window = 0 (the default) is
+// exactly the solo path: no probes, the solo counter ticks, results
+// match the bare SQL session.
+func TestWindowZeroDegenerates(t *testing.T) {
+	d := newDB(t, 200)
+	mustExec(t, sql.NewSession(d), "CREATE INDEX idx ON t USING ivfflat (vec) WITH (clusters = 8, sample_ratio = 1, seed = 1)")
+	want := renderRows(mustExec(t, sql.NewSession(d), queryFor(3)))
+
+	co := NewCoalescer()
+	sess := NewSession(sql.NewSession(d), co)
+	got := renderRows(mustExec(t, sess, queryFor(3)))
+	if got != want {
+		t.Errorf("window=0 result differs from solo\nsolo:\n%s\ngot:\n%s", want, got)
+	}
+	if co.probes.Load() != 0 || co.batched.Load() != 0 {
+		t.Errorf("window=0 flushed a probe: probes=%d batched=%d", co.probes.Load(), co.batched.Load())
+	}
+	if co.solo.Load() != 1 {
+		t.Errorf("solo counter = %d, want 1", co.solo.Load())
+	}
+}
+
+// TestBatchMaxCapsProbeSize runs 3*max queries through one group and
+// checks no probe exceeded the cap while every query still got solo
+// rows.
+func TestBatchMaxCapsProbeSize(t *testing.T) {
+	d := newDB(t, 200)
+	mustExec(t, sql.NewSession(d), "CREATE INDEX idx ON t USING ivfflat (vec) WITH (clusters = 8, sample_ratio = 1, seed = 1)")
+	const max, B = 4, 12
+	want := renderRows(mustExec(t, sql.NewSession(d), queryFor(1)))
+
+	co := NewCoalescer()
+	var wg sync.WaitGroup
+	errCh := make(chan error, B)
+	for i := 0; i < B; i++ {
+		sess := NewSession(sql.NewSession(d), co)
+		mustExec(t, sess, "SET batch_window = 20000")
+		mustExec(t, sess, fmt.Sprintf("SET batch_max = %d", max))
+		wg.Add(1)
+		go func(sess *Session) {
+			defer wg.Done()
+			res, err := sess.Execute(queryFor(1))
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if got := renderRows(res); got != want {
+				errCh <- fmt.Errorf("batched result differs from solo:\n%s\nvs\n%s", got, want)
+			}
+		}(sess)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if co.batched.Load() != B {
+		t.Errorf("batched = %d, want %d", co.batched.Load(), B)
+	}
+	if co.probes.Load() < B/max {
+		t.Errorf("probes = %d, want >= %d", co.probes.Load(), B/max)
+	}
+	if co.maxBatchSeen.Load() > max {
+		t.Errorf("a probe carried %d queries, cap is %d", co.maxBatchSeen.Load(), max)
+	}
+}
+
+// TestUnbatchableShapesRunSolo checks the bypasses: no LIMIT, count(*),
+// post-filter strategy, and threads > 1 never enter a group even with
+// the window open.
+func TestUnbatchableShapesRunSolo(t *testing.T) {
+	d := newDB(t, 200)
+	mustExec(t, sql.NewSession(d), "CREATE INDEX idx ON t USING ivfflat (vec) WITH (clusters = 8, sample_ratio = 1, seed = 1)")
+	co := NewCoalescer()
+	sess := NewSession(sql.NewSession(d), co)
+	mustExec(t, sess, "SET batch_window = 500000")
+	mustExec(t, sess, "SET batch_max = 32")
+
+	mustExec(t, sess, "SELECT id FROM t ORDER BY vec <-> '{3, 3, 0, 0}'") // no LIMIT
+	mustExec(t, sess, "SET filter_strategy = post")
+	mustExec(t, sess, "SELECT id FROM t WHERE id < 150 ORDER BY vec <-> '{3, 3, 0, 0}' LIMIT 5")
+	mustExec(t, sess, "SET filter_strategy = auto")
+	mustExec(t, sess, "SET threads = 4")
+	mustExec(t, sess, "SELECT id FROM t ORDER BY vec <-> '{3, 3, 0, 0}' LIMIT 5")
+
+	if co.probes.Load() != 0 {
+		t.Errorf("unbatchable shapes flushed %d probes", co.probes.Load())
+	}
+	if co.unbatchable.Load() != 3 {
+		t.Errorf("unbatchable counter = %d, want 3", co.unbatchable.Load())
+	}
+}
+
+// TestGroupKeysSeparateSettings checks that sessions with different
+// effective scan settings never share a probe.
+func TestGroupKeysSeparateSettings(t *testing.T) {
+	d := newDB(t, 200)
+	mustExec(t, sql.NewSession(d), "CREATE INDEX idx ON t USING ivfflat (vec) WITH (clusters = 8, sample_ratio = 1, seed = 1)")
+	co := NewCoalescer()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		sess := NewSession(sql.NewSession(d), co)
+		mustExec(t, sess, fmt.Sprintf("SET nprobe = %d", 2+i*2))
+		mustExec(t, sess, "SET batch_window = 30000")
+		mustExec(t, sess, "SET batch_max = 2")
+		wg.Add(1)
+		go func(sess *Session) {
+			defer wg.Done()
+			if _, err := sess.Execute(queryFor(0)); err != nil {
+				t.Error(err)
+			}
+		}(sess)
+	}
+	wg.Wait()
+	// Two different nprobe values: two groups, each flushed by timer
+	// with a single member.
+	if co.probes.Load() != 2 {
+		t.Errorf("probes = %d, want 2 (one per settings group)", co.probes.Load())
+	}
+	if co.maxBatchSeen.Load() != 1 {
+		t.Errorf("maxBatchSeen = %d, want 1", co.maxBatchSeen.Load())
+	}
+}
+
+// TestCoalescerRace hammers one coalescer from many sessions with mixed
+// batchable and unbatchable statements; run under -race this is the
+// locking proof for the group lifecycle.
+func TestCoalescerRace(t *testing.T) {
+	d := newDB(t, 200)
+	mustExec(t, sql.NewSession(d), "CREATE INDEX idx ON t USING ivfflat (vec) WITH (clusters = 8, sample_ratio = 1, seed = 1)")
+	co := NewCoalescer()
+	const G, rounds = 12, 5
+	var wg sync.WaitGroup
+	for g := 0; g < G; g++ {
+		sess := NewSession(sql.NewSession(d), co)
+		mustExec(t, sess, "SET batch_window = 300")
+		mustExec(t, sess, "SET batch_max = 5")
+		wg.Add(1)
+		go func(g int, sess *Session) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				q := queryFor(g + r)
+				if g%4 == 3 && r%2 == 1 {
+					q = "SELECT count(*) FROM t"
+				}
+				if _, err := sess.Execute(q); err != nil {
+					t.Errorf("g%d r%d: %v", g, r, err)
+					return
+				}
+			}
+		}(g, sess)
+	}
+	wg.Wait()
+}

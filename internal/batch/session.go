@@ -1,0 +1,59 @@
+package batch
+
+import (
+	"strconv"
+	"time"
+
+	"vecstudy/internal/pg/sql"
+)
+
+// Session wraps a sql.Session with query coalescing. It satisfies the
+// server's Session contract structurally (Execute(string) (*sql.Result,
+// error)) without importing the server package, keeping the dependency
+// arrow server -> batch -> sql.
+type Session struct {
+	inner *sql.Session
+	co    *Coalescer
+}
+
+// NewSession wraps inner so its vector searches may coalesce through co.
+func NewSession(inner *sql.Session, co *Coalescer) *Session {
+	return &Session{inner: inner, co: co}
+}
+
+// Inner exposes the wrapped SQL session (tests reach SET/SHOW state
+// through it).
+func (s *Session) Inner() *sql.Session { return s.inner }
+
+// Execute runs one statement. Non-vector statements and unbatchable or
+// window-disabled vector searches behave exactly as the bare SQL
+// session; a batchable search with SET batch_window > 0 parks in the
+// coalescer and returns its share of a multi-query probe.
+func (s *Session) Execute(text string) (*sql.Result, error) {
+	res, q, err := s.inner.ExecuteOrPlan(text)
+	if err != nil || q == nil {
+		return res, err
+	}
+	if ok, _ := q.Batchable(); !ok {
+		s.co.unbatchable.Add(1)
+		return q.Run()
+	}
+	window := settingInt(s.inner, sql.BatchWindowSetting, 0)
+	if window <= 0 {
+		s.co.solo.Add(1)
+		return q.Run()
+	}
+	max := settingInt(s.inner, sql.BatchMaxSetting, 32)
+	return s.co.Submit(q, time.Duration(window)*time.Microsecond, max)
+}
+
+// settingInt reads a knob's effective value as an integer; SET
+// validation guarantees parseability, so def only covers an unknown
+// name.
+func settingInt(s *sql.Session, name string, def int) int {
+	n, err := strconv.Atoi(s.EffectiveSetting(name))
+	if err != nil {
+		return def
+	}
+	return n
+}

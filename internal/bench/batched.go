@@ -1,0 +1,238 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"vecstudy/internal/client"
+	"vecstudy/internal/cluster"
+	"vecstudy/internal/core"
+	"vecstudy/internal/server"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "qps_batched",
+		Title: "Server-side batched kNN: QPS and tail latency vs coalescing window, single node and sharded",
+		Paper: "beyond the paper: its RC#1 (batched SGEMM-shaped scoring beats per-pair loops) applied to serving — concurrent queries coalesce into multi-query probes that share centroid scoring and bucket page pins",
+		Run:   runQPSBatched,
+	})
+}
+
+// batchWindowsMicros is the coalescing sweep: off (the solo baseline),
+// a short window that mostly catches already-concurrent arrivals, and a
+// full millisecond that trades first-query latency for bigger probes.
+var batchWindowsMicros = []int{0, 200, 1000}
+
+// runQPSBatched sweeps batch_window x client count against one server,
+// then replays the off/on comparison through a 2-shard scatter-gather
+// router to show coalescing composes with the cluster layer (each shard
+// batches the router's scattered sub-queries with other sessions').
+// vs_off is the speedup over batch_window=0 at the same client count —
+// the headline number: batching only pays at saturation, so expect
+// ~1.0x at 1 client and the gain to grow with concurrency.
+func runQPSBatched(cfg *Config) error {
+	ds, err := cfg.Dataset(cfg.Datasets[0], 10)
+	if err != nil {
+		return err
+	}
+	p := core.Defaults(ds)
+	p.K = 10
+	p.BufferPartitions = 1
+
+	perClient := cfg.Queries
+	if perClient <= 0 {
+		perClient = 100
+	}
+	clientCounts := append([]int(nil), cfg.Clients...)
+	maxClients := 0
+	for _, c := range clientCounts {
+		if c > maxClients {
+			maxClients = c
+		}
+	}
+
+	gen, _, err := core.BuildGeneralized(core.IVFFlat, ds, p)
+	if err != nil {
+		return err
+	}
+	srv := server.New(gen.DB(), server.Config{
+		MaxActive:    maxClients + 4,
+		QueueDepth:   maxClients,
+		QueryTimeout: time.Minute,
+	})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		gen.Close()
+		return err
+	}
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		gen.Close()
+	}
+	addr := srv.Addr().String()
+
+	sqls := make([]string, ds.NQ())
+	for q := range sqls {
+		sqls[q] = searchSQL(ds.Queries.Row(q), p.K)
+	}
+
+	cfg.printf("dataset=%s index=ivf_flat nprobe=%d k=%d queries_per_client=%d gomaxprocs=%d\n",
+		ds.Name, p.NProbe, p.K, perClient, runtime.GOMAXPROCS(0))
+	cfg.printf("window_us  clients  qps       p50        p99        vs_off\n")
+
+	baseline := make(map[int]core.ConcurrentResult, len(clientCounts))
+	for _, window := range batchWindowsMicros {
+		for _, clients := range clientCounts {
+			// batch_max = client count: a full batch flushes by cap the
+			// moment the last concurrent session joins, so the window is
+			// only a deadline for stragglers, not a fixed tax.
+			r, err := runBatchedClients(addr, clients, perClient, p.NProbe, window, clients, sqls)
+			if err != nil {
+				stop()
+				return err
+			}
+			vs := "1.00x"
+			if window == 0 {
+				baseline[clients] = r
+			} else if base := baseline[clients]; base.QPS > 0 {
+				vs = fmt.Sprintf("%.2fx", r.QPS/base.QPS)
+			}
+			cfg.printf("%-10d %-8d %-9.1f %-10v %-10v %s\n",
+				window, clients, r.QPS, r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond), vs)
+		}
+	}
+	if err := printBatchStats(cfg, addr, "single-node"); err != nil {
+		stop()
+		return err
+	}
+	stop()
+
+	// Sharded leg: same workload through a 2-shard router, coalescing
+	// off vs on at peak concurrency. The shard servers do the batching;
+	// the router only replays the knob.
+	const shards = 2
+	nodes := make([]*shardNode, 0, shards)
+	m := &cluster.ShardMap{}
+	stopNodes := func() {
+		for _, n := range nodes {
+			n.stop()
+		}
+	}
+	for s := 0; s < shards; s++ {
+		node, err := buildShardNode(ds, s, shards, p, maxClients)
+		if err != nil {
+			stopNodes()
+			return err
+		}
+		nodes = append(nodes, node)
+		m.Shards = append(m.Shards, []string{node.srv.Addr().String()})
+	}
+	router := cluster.NewRouter(m, cluster.Config{PoolSize: maxClients + 4})
+	front := server.NewWithBackend(router, server.Config{
+		MaxActive:    maxClients + 8,
+		QueueDepth:   maxClients,
+		QueryTimeout: time.Minute,
+	})
+	if err := front.Start("127.0.0.1:0"); err != nil {
+		router.Close()
+		stopNodes()
+		return err
+	}
+	stopFront := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		front.Shutdown(ctx)
+		router.Close()
+		stopNodes()
+	}
+	cfg.printf("sharded (%d shards, %d clients):\n", shards, maxClients)
+	cfg.printf("window_us  qps       p50        p99        vs_off\n")
+	var shardBase core.ConcurrentResult
+	for _, window := range []int{0, 1000} {
+		r, err := runBatchedClients(front.Addr().String(), maxClients, perClient, p.NProbe, window, maxClients, sqls)
+		if err != nil {
+			stopFront()
+			return err
+		}
+		vs := "1.00x"
+		if window == 0 {
+			shardBase = r
+		} else if shardBase.QPS > 0 {
+			vs = fmt.Sprintf("%.2fx", r.QPS/shardBase.QPS)
+		}
+		cfg.printf("%-10d %-9.1f %-10v %-10v %s\n",
+			window, r.QPS, r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond), vs)
+	}
+	err = printBatchStats(cfg, nodes[0].srv.Addr().String(), "shard 0")
+	stopFront()
+	if err != nil {
+		return err
+	}
+	cfg.printf("# vs_off = QPS over the batch_window=0 run at the same client count; the window is a tail-latency tax on the batch leader, so read p99 next to the speedup.\n")
+	return nil
+}
+
+// runBatchedClients is runRemoteClients plus the coalescing knobs SET
+// per session.
+func runBatchedClients(addr string, clients, perClient, nprobe, windowMicros, batchMax int, sqls []string) (core.ConcurrentResult, error) {
+	conns := make([]*client.Conn, clients)
+	defer func() {
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+	for i := range conns {
+		c, err := client.Dial(addr)
+		if err != nil {
+			return core.ConcurrentResult{}, err
+		}
+		conns[i] = c
+		for _, set := range []string{
+			fmt.Sprintf("SET nprobe = %d", nprobe),
+			fmt.Sprintf("SET batch_window = %d", windowMicros),
+			fmt.Sprintf("SET batch_max = %d", batchMax),
+		} {
+			if _, err := c.Execute(set); err != nil {
+				return core.ConcurrentResult{}, err
+			}
+		}
+	}
+	return core.RunConcurrent(clients, perClient, func(c, i int) error {
+		res, err := conns[c].Execute(sqls[(c*perClient+i)%len(sqls)])
+		if err != nil {
+			return err
+		}
+		if len(res.Rows) == 0 {
+			return fmt.Errorf("bench: batched query returned no rows")
+		}
+		return nil
+	})
+}
+
+// printBatchStats dials the server and echoes its coalescing counters.
+func printBatchStats(cfg *Config, addr, label string) error {
+	c, err := client.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	res, err := c.Execute("SHOW server_stats")
+	if err != nil {
+		return err
+	}
+	cfg.printf("# %s batch stats:", label)
+	for _, row := range res.Rows {
+		name, _ := row[0].(string)
+		if len(name) >= 6 && name[:6] == "batch_" {
+			cfg.printf(" %s=%v", name, row[1])
+		}
+	}
+	cfg.printf("\n")
+	return nil
+}

@@ -17,7 +17,7 @@ func TestRegistryCoversEveryFigureAndTable(t *testing.T) {
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
 		"tab3", "tab4", "tab5",
 		"ablation_io", "ablation_heap", "ablation_pqtab", "ablation_kmeans", "ablation_layout",
-		"qps", "qps_remote", "qps_cluster",
+		"qps", "qps_remote", "qps_cluster", "qps_batched",
 		"filtered",
 	}
 	for _, id := range want {
@@ -43,7 +43,7 @@ func TestExperimentsRunAtSmokeScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping harness smoke in -short mode")
 	}
-	for _, id := range []string{"fig2", "fig3", "fig4", "fig11", "fig13", "fig14", "fig15", "tab4", "tab5", "ablation_heap", "ablation_pqtab", "qps", "qps_remote", "qps_cluster", "filtered"} {
+	for _, id := range []string{"fig2", "fig3", "fig4", "fig11", "fig13", "fig14", "fig15", "tab4", "tab5", "ablation_heap", "ablation_pqtab", "qps", "qps_remote", "qps_cluster", "qps_batched", "filtered"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			var buf strings.Builder

@@ -550,3 +550,52 @@ func TestFilteredClusterParity(t *testing.T) {
 		})
 	}
 }
+
+// TestBatchKnobReplay proves the coalescing knobs ride the router's
+// SET-replay machinery end to end: the router session records them,
+// SHOW answers locally, and the replayed knob makes the shard servers
+// actually coalesce (their SHOW server_stats batch counters move).
+func TestBatchKnobReplay(t *testing.T) {
+	h := newHarness(t, 1, 1)
+	sess := h.router(Config{}).NewSession()
+	loadLine(t, sess, 120)
+
+	mustExec(t, sess, "SET batch_window = 500")
+	mustExec(t, sess, "SET batch_max = 8")
+	if res := mustExec(t, sess, "SHOW batch_window"); res.Rows[0][0].(string) != "500" {
+		t.Errorf("router SHOW batch_window = %v", res.Rows[0][0])
+	}
+	if _, err := sess.Execute("SET batch_window = -5"); err == nil {
+		t.Error("router accepted SET batch_window = -5")
+	}
+
+	got := ids(t, mustExec(t, sess, "SELECT id FROM t ORDER BY vec <-> '{40, 40, 0, 0}' LIMIT 3"))
+	if len(got) != 3 || got[0] != 40 {
+		t.Errorf("scatter-gather with batch_window set: got %v, want nearest 40", got)
+	}
+
+	// The shard executed that query with the replayed window, so its
+	// coalescer flushed at least one (single-member) probe.
+	probed := false
+	for shard := range h.servers {
+		c, err := client.Dial(h.servers[shard][0].Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Execute("SHOW server_stats")
+		c.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row[0].(string) == "batch_probes" {
+				if n, err := strconv.ParseInt(fmt.Sprint(row[1]), 10, 64); err == nil && n > 0 {
+					probed = true
+				}
+			}
+		}
+	}
+	if !probed {
+		t.Error("no shard coalescer flushed a probe; batch_window replay did not reach the shards")
+	}
+}

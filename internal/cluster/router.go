@@ -245,6 +245,11 @@ func (s *Session) runSet(st *sql.SetStmt) (*sql.Result, error) {
 	if !known {
 		return nil, fmt.Errorf("cluster: unrecognized setting %q (SHOW ALL lists the known settings)", st.Name)
 	}
+	// Reject bad values at record time: these SETs replay onto shard
+	// sessions later, where the failure would blame an innocent query.
+	if err := sql.ValidateSetting(st.Name, st.Value); err != nil {
+		return nil, err
+	}
 	replaced := false
 	for i := range s.sets {
 		if s.sets[i].Name == st.Name {

@@ -153,6 +153,13 @@ func (c *Collector) Push(id int64, dist float32) {
 	c.items = append(c.items, Item{ID: id, Dist: dist})
 }
 
+// Append bulk-adds already-materialized candidates in order — exactly
+// len(items) Push calls, at memmove speed. The batched replay path uses
+// it to reproduce a solo push sequence without per-item call overhead.
+func (c *Collector) Append(items []Item) {
+	c.items = append(c.items, items...)
+}
+
 // Len returns the number of collected candidates.
 func (c *Collector) Len() int { return len(c.items) }
 

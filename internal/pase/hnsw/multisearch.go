@@ -1,0 +1,34 @@
+package hnsw
+
+import (
+	"errors"
+
+	"vecstudy/internal/pg/am"
+)
+
+// MultiSearch implements am.BatchIndex for HNSW as a grouped sequential
+// loop: graph traversal is inherently per-query (each query's entry
+// descent and layer-0 beam depend on its own frontier), so there is no
+// SGEMM-shaped batching to exploit. Coalescing still pays off at the
+// serving layer — the batch executes back-to-back on one goroutine over
+// a warm buffer pool instead of interleaving with unrelated work — and
+// parity is trivial because each query runs the exact solo path.
+func (ix *Index) MultiSearch(queries [][]float32, ks []int, params map[string]string, preds []am.Predicate) ([][]am.Result, error) {
+	B := len(queries)
+	if len(ks) != B || (preds != nil && len(preds) != B) {
+		return nil, errors.New("pase/hnsw: MultiSearch argument lengths differ")
+	}
+	out := make([][]am.Result, B)
+	for i := range queries {
+		var p am.Predicate
+		if preds != nil {
+			p = preds[i]
+		}
+		hits, err := ix.SearchFiltered(queries[i], ks[i], params, p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = hits
+	}
+	return out, nil
+}

@@ -1,0 +1,345 @@
+package ivfflat
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"vecstudy/internal/blas"
+	"vecstudy/internal/minheap"
+	"vecstudy/internal/pase"
+	"vecstudy/internal/pg/am"
+	"vecstudy/internal/pg/buffer"
+	"vecstudy/internal/pg/heap"
+)
+
+// MultiSearch implements am.BatchIndex: a batch of queries executes as
+// one multi-query probe. Centroid scoring for the whole batch is a
+// single SGEMM-shaped blas.L2SqrNT call (paper RC#1 applied to serving),
+// and each probed bucket's page chain is walked once for every query
+// probing it, so page pins and tuple accesses are amortized across the
+// batch instead of repeated per query.
+//
+// Results are byte-identical to per-query Search/SearchFiltered calls:
+//
+//   - blas.L2SqrNT is bit-equal to the per-pair vec.L2SqrRef solo probe
+//     selection uses, and the per-query TopK(nprobe) sees centroids in
+//     the same c=0..NList-1 push order, so probe lists match exactly;
+//   - bucket distances are one blas.L2SqrNTRows call per bucket segment,
+//     with the bucket's tuples as the A rows — zero-copy views into the
+//     pinned pages — and the subscribing queries as the B rows. The
+//     transposition is deliberate: A rows drive the unroll, and a bucket
+//     always has many tuples even when only one query subscribes, so the
+//     independent accumulator chains (the ILP that makes RC#1 pay on a
+//     single core) engage for every bucket.
+//     Each (tuple, query) chain computes Σ(t_p−q_p)², which is bitwise
+//     equal to solo's Σ(q_p−t_p)²: IEEE subtraction is sign-symmetric,
+//     and x·x == (−x)·(−x);
+//   - candidates are recorded per (query, probe-rank) during the shared
+//     bucket-union scan and replayed in each query's own probe-rank
+//     order, reproducing the solo push sequence exactly. That matters
+//     because the default collector's PopK (RC#6) breaks distance ties
+//     by push order; TopK-based paths (heap=k, filtered) are push-order
+//     independent under the (Dist, ID) total order but get the same
+//     sequence anyway.
+//
+// threads > 1 (the RC#3 lock-guarded shared-heap path) is not coalesced;
+// the batch degenerates to a per-query loop with solo semantics.
+func (ix *Index) MultiSearch(queries [][]float32, ks []int, params map[string]string, preds []am.Predicate) ([][]am.Result, error) {
+	B := len(queries)
+	if len(ks) != B || (preds != nil && len(preds) != B) {
+		return nil, errors.New("pase/ivfflat: MultiSearch argument lengths differ")
+	}
+	if B == 0 {
+		return nil, nil
+	}
+	pred := func(i int) am.Predicate {
+		if preds == nil {
+			return nil
+		}
+		return preds[i]
+	}
+	anyUnfiltered := false
+	for i := range queries {
+		if len(queries[i]) != int(ix.meta.Dim) {
+			return nil, fmt.Errorf("pase/ivfflat: query dimension %d != %d", len(queries[i]), ix.meta.Dim)
+		}
+		if ks[i] <= 0 {
+			return nil, errors.New("pase/ivfflat: k must be positive")
+		}
+		if pred(i) == nil {
+			anyUnfiltered = true
+		}
+	}
+	nprobe, err := pase.OptInt(params, "nprobe", 20)
+	if err != nil {
+		return nil, err
+	}
+	// Solo filtered search never reads threads, so only consult it when
+	// an unfiltered query (whose solo path does) is present.
+	threads := 1
+	if anyUnfiltered {
+		if threads, err = pase.OptInt(params, "threads", 1); err != nil {
+			return nil, err
+		}
+	}
+	if threads > 1 {
+		return ix.multiSearchSolo(queries, ks, params, pred)
+	}
+	if nprobe <= 0 {
+		nprobe = 1
+	}
+	if nprobe > int(ix.meta.NList) {
+		nprobe = int(ix.meta.NList)
+	}
+
+	probes := ix.multiSelectProbes(queries, nprobe)
+
+	// Invert probe lists into per-bucket subscriber lists and scan the
+	// bucket union once, recording candidates per (query, probe-rank).
+	type sub struct{ qi, rank int }
+	subs := make(map[int32][]sub)
+	for qi, ps := range probes {
+		for rank, cid := range ps {
+			subs[cid] = append(subs[cid], sub{qi, rank})
+		}
+	}
+	order := make([]int32, 0, len(subs))
+	for cid := range subs {
+		order = append(order, cid)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+	cand := make([][][]minheap.Item, B)
+	for i := range cand {
+		cand[i] = make([][]minheap.Item, len(probes[i]))
+	}
+	d := int(ix.meta.Dim)
+	tDist := ix.ctx.Prof.Timer("fvec_L2sqr")
+	var sc bucketScanScratch
+	var qf []float32    // subscriber queries, len(ss)×d (B rows)
+	var dists []float32 // nt×len(ss) distance matrix
+	for _, cid := range order {
+		ss := subs[cid]
+		qf = qf[:0]
+		for _, sb := range ss {
+			qf = append(qf, queries[sb.qi]...)
+		}
+		// The pinned walk hands over tuple views that alias page memory;
+		// one L2SqrNTRows call scores the whole segment against every
+		// subscriber without copying a single vector.
+		err := ix.scanBucketPinned(cid, &sc, func(tids []int64, rows [][]float32) error {
+			nt := len(tids)
+			if cap(dists) < nt*len(ss) {
+				dists = make([]float32, nt*len(ss))
+			}
+			dd := dists[:nt*len(ss)]
+			ts := tDist.Start()
+			blas.L2SqrNTRows(rows, d, qf, len(ss), dd)
+			tDist.Stop(ts)
+			for si, sb := range ss {
+				lst := cand[sb.qi][sb.rank]
+				if lst == nil {
+					lst = make([]minheap.Item, 0, nt)
+				}
+				for t := 0; t < nt; t++ {
+					lst = append(lst, minheap.Item{ID: tids[t], Dist: dd[t*len(ss)+si]})
+				}
+				cand[sb.qi][sb.rank] = lst
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Replay each query's candidates in its solo push order and rank them
+	// with the same heap strategy its solo call would use.
+	heapK := params["heap"] == "k"
+	out := make([][]am.Result, B)
+	for i := 0; i < B; i++ {
+		switch p := pred(i); {
+		case p != nil:
+			top := minheap.NewTopK(ks[i])
+			for _, lst := range cand[i] {
+				for _, it := range lst {
+					ok, err := p(unpackTID(it.ID))
+					if err != nil {
+						return nil, err
+					}
+					if ok {
+						top.Push(it.ID, it.Dist)
+					}
+				}
+			}
+			out[i] = itemsToResults(top.Results())
+		case heapK:
+			top := minheap.NewTopK(ks[i])
+			for _, lst := range cand[i] {
+				for _, it := range lst {
+					top.Push(it.ID, it.Dist)
+				}
+			}
+			out[i] = itemsToResults(top.Results())
+		default:
+			total := 0
+			for _, lst := range cand[i] {
+				total += len(lst)
+			}
+			collector := minheap.NewCollector(total)
+			for _, lst := range cand[i] {
+				collector.Append(lst)
+			}
+			out[i] = itemsToResults(collector.PopK(ks[i]))
+		}
+	}
+	return out, nil
+}
+
+// bucketScanScratch is the reusable state of scanBucketPinned: tuple IDs
+// and page-aliasing vector views for the current segment, plus the pins
+// that keep those views alive.
+type bucketScanScratch struct {
+	tids   []int64
+	rows   [][]float32
+	pinned []*buffer.Buf
+}
+
+// scanBucketPinned walks one bucket's page chain keeping the visited
+// pages pinned and hands the accumulated tuple views to visit in chain
+// order, then releases the pins. The views alias pinned page memory and
+// are valid only for the duration of the visit call. If the pool runs
+// out of unpinned frames mid-chain, the segment collected so far is
+// flushed and released before the walk continues, so the scan degrades
+// gracefully at any pool size; visit sees one or more segments whose
+// concatenation is the full bucket in chain order.
+func (ix *Index) scanBucketPinned(cid int32, sc *bucketScanScratch, visit func(tids []int64, rows [][]float32) error) error {
+	ctx := ix.ctx
+	pr := ctx.Prof
+	d := int(ix.meta.Dim)
+	tTuple := pr.Timer("tuple_access")
+	blk, off := ix.centroidLoc(int(cid))
+	ts := tTuple.Start()
+	cbuf, err := ctx.Pool.Pin(ctx.Rel, blk)
+	if err != nil {
+		tTuple.Stop(ts)
+		return err
+	}
+	centry, err := cbuf.Page().Item(off)
+	tTuple.Stop(ts)
+	if err != nil {
+		cbuf.Release()
+		return err
+	}
+	next := binary.LittleEndian.Uint32(centry[d*4:])
+	cbuf.Release()
+
+	sc.tids, sc.rows, sc.pinned = sc.tids[:0], sc.rows[:0], sc.pinned[:0]
+	release := func() {
+		for _, b := range sc.pinned {
+			b.Release()
+		}
+		sc.tids, sc.rows, sc.pinned = sc.tids[:0], sc.rows[:0], sc.pinned[:0]
+	}
+	flush := func() error {
+		var err error
+		if len(sc.tids) > 0 {
+			err = visit(sc.tids, sc.rows)
+		}
+		release()
+		return err
+	}
+	for next != pase.InvalidBlk {
+		ts := tTuple.Start()
+		dbuf, err := ctx.Pool.Pin(ctx.Rel, next)
+		tTuple.Stop(ts)
+		if err != nil {
+			if !errors.Is(err, buffer.ErrNoUnpinned) || len(sc.pinned) == 0 {
+				release()
+				return err
+			}
+			// Pool exhausted mid-chain: hand the segment collected so
+			// far to visit, drop its pins, and retry the page once.
+			if err := flush(); err != nil {
+				return err
+			}
+			ts = tTuple.Start()
+			dbuf, err = ctx.Pool.Pin(ctx.Rel, next)
+			tTuple.Stop(ts)
+			if err != nil {
+				release()
+				return err
+			}
+		}
+		sc.pinned = append(sc.pinned, dbuf)
+		pg := dbuf.Page()
+		ts = tTuple.Start()
+		n := pg.NumItems()
+		for i := uint16(1); i <= n; i++ {
+			item, err := pg.Item(i)
+			if err != nil {
+				tTuple.Stop(ts)
+				release()
+				return err
+			}
+			sc.tids = append(sc.tids, packTID(heap.UnpackTID(item)))
+			v := pase.Float32View(item[dataEntryHeaderSize:])
+			sc.rows = append(sc.rows, v[:d:d])
+		}
+		tTuple.Stop(ts)
+		next = pase.NextBlk(pg)
+	}
+	return flush()
+}
+
+// multiSearchSolo executes the batch as a per-query loop with exact solo
+// semantics, for parameter combinations the shared scan does not cover.
+func (ix *Index) multiSearchSolo(queries [][]float32, ks []int, params map[string]string, pred func(int) am.Predicate) ([][]am.Result, error) {
+	out := make([][]am.Result, len(queries))
+	for i := range queries {
+		var hits []am.Result
+		var err error
+		if p := pred(i); p != nil {
+			hits, err = ix.SearchFiltered(queries[i], ks[i], params, p)
+		} else {
+			hits, err = ix.Search(queries[i], ks[i], params)
+		}
+		if err != nil {
+			return nil, err
+		}
+		out[i] = hits
+	}
+	return out, nil
+}
+
+// multiSelectProbes ranks all centroids against the whole batch with one
+// batched scoring call and returns each query's nprobe nearest bucket
+// IDs — the same lists selectProbes produces, since L2SqrNT matches
+// vec.L2SqrRef bitwise and the TopK push order (c ascending) is shared.
+func (ix *Index) multiSelectProbes(queries [][]float32, nprobe int) [][]int32 {
+	d := int(ix.meta.Dim)
+	nlist := int(ix.meta.NList)
+	B := len(queries)
+	flat := make([]float32, B*d)
+	for i, q := range queries {
+		copy(flat[i*d:(i+1)*d], q)
+	}
+	dists := make([]float32, B*nlist)
+	blas.L2SqrNTParallel(flat, B, d, ix.centroidCache[:nlist*d], nlist, dists, 0)
+	out := make([][]int32, B)
+	for i := range queries {
+		h := minheap.NewTopK(nprobe)
+		for c := 0; c < nlist; c++ {
+			h.Push(int64(c), dists[i*nlist+c])
+		}
+		items := h.Results()
+		probes := make([]int32, len(items))
+		for j, it := range items {
+			probes[j] = int32(it.ID)
+		}
+		out[i] = probes
+	}
+	return out
+}

@@ -175,56 +175,73 @@ func (ix *Index) searchParallel(query []float32, k int, probes []int32, threads 
 // through the buffer pool; the breakdown timers attribute time exactly as
 // Table V does (fvec_L2sqr vs tuple access).
 func (ix *Index) scanBuckets(query []float32, probes []int32, emit func(heap.TID, float32)) error {
+	pr := ix.ctx.Prof
+	tDist := pr.Timer("fvec_L2sqr")
+	for _, cid := range probes {
+		err := ix.scanBucketRaw(cid, func(tid heap.TID, v []float32) {
+			ts := tDist.Start()
+			dist := vec.L2SqrRef(query, v)
+			tDist.Stop(ts)
+			emit(tid, dist)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scanBucketRaw walks one bucket's page chain through the buffer pool and
+// emits each entry's TID plus a view of its raw vector. The view aliases
+// the pinned page and is valid only for the duration of the callback. The
+// multi-query probe path (MultiSearch) scans a bucket once through this
+// walker and fans each entry out to every query probing the bucket, which
+// is how page pins are amortized across a batch.
+func (ix *Index) scanBucketRaw(cid int32, emit func(heap.TID, []float32)) error {
 	ctx := ix.ctx
 	pr := ctx.Prof
 	d := int(ix.meta.Dim)
 	tTuple := pr.Timer("tuple_access")
-	tDist := pr.Timer("fvec_L2sqr")
-	for _, cid := range probes {
-		blk, off := ix.centroidLoc(int(cid))
+	blk, off := ix.centroidLoc(int(cid))
+	ts := tTuple.Start()
+	cbuf, err := ctx.Pool.Pin(ctx.Rel, blk)
+	if err != nil {
+		tTuple.Stop(ts)
+		return err
+	}
+	centry, err := cbuf.Page().Item(off)
+	tTuple.Stop(ts)
+	if err != nil {
+		cbuf.Release()
+		return err
+	}
+	next := binary.LittleEndian.Uint32(centry[d*4:])
+	cbuf.Release()
+
+	for next != pase.InvalidBlk {
 		ts := tTuple.Start()
-		cbuf, err := ctx.Pool.Pin(ctx.Rel, blk)
-		if err != nil {
-			tTuple.Stop(ts)
-			return err
-		}
-		centry, err := cbuf.Page().Item(off)
+		dbuf, err := ctx.Pool.Pin(ctx.Rel, next)
 		tTuple.Stop(ts)
 		if err != nil {
-			cbuf.Release()
 			return err
 		}
-		next := binary.LittleEndian.Uint32(centry[d*4:])
-		cbuf.Release()
-
-		for next != pase.InvalidBlk {
+		pg := dbuf.Page()
+		n := pg.NumItems()
+		for i := uint16(1); i <= n; i++ {
 			ts := tTuple.Start()
-			dbuf, err := ctx.Pool.Pin(ctx.Rel, next)
-			tTuple.Stop(ts)
+			item, err := pg.Item(i)
 			if err != nil {
+				tTuple.Stop(ts)
+				dbuf.Release()
 				return err
 			}
-			pg := dbuf.Page()
-			n := pg.NumItems()
-			for i := uint16(1); i <= n; i++ {
-				ts := tTuple.Start()
-				item, err := pg.Item(i)
-				if err != nil {
-					tTuple.Stop(ts)
-					dbuf.Release()
-					return err
-				}
-				tid := heap.UnpackTID(item)
-				v := pase.Float32View(item[dataEntryHeaderSize:])
-				tTuple.Stop(ts)
-				ts = tDist.Start()
-				dist := vec.L2SqrRef(query, v)
-				tDist.Stop(ts)
-				emit(tid, dist)
-			}
-			next = pase.NextBlk(pg)
-			dbuf.Release()
+			tid := heap.UnpackTID(item)
+			v := pase.Float32View(item[dataEntryHeaderSize:])
+			tTuple.Stop(ts)
+			emit(tid, v)
 		}
+		next = pase.NextBlk(pg)
+		dbuf.Release()
 	}
 	return nil
 }

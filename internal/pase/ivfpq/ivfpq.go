@@ -559,13 +559,30 @@ func (ix *Index) searchParallel(query []float32, k int, probes []int32, threads 
 // scanBucket computes the naive distance table for bucket cid and scans
 // its code chain, emitting (tid, approx distance) for every entry.
 func (ix *Index) scanBucket(query []float32, cid int32, tab, scratch []float32, emit func(heap.TID, float32)) error {
-	ctx := ix.ctx
-	pr := ctx.Prof
-	d := int(ix.meta.Dim)
+	pr := ix.ctx.Prof
 	m := int(ix.meta.M)
 	ksub := int(ix.meta.KSub)
+	ix.computeTab(query, cid, tab, scratch)
+	tScan := pr.Timer("adc-scan")
+	return ix.scanCodes(cid, func(tid heap.TID, code []byte) {
+		tsS := tScan.Start()
+		var dist float32
+		for mm := 0; mm < m; mm++ {
+			dist += tab[mm*ksub+int(code[mm])]
+		}
+		tScan.Stop(tsS)
+		emit(tid, dist)
+	})
+}
 
-	// RC#7: rebuild the table from scratch for this bucket.
+// computeTab rebuilds the query-to-codeword distance table for bucket cid
+// from scratch (RC#7): residual against the coarse centroid, then the
+// naive sub-quantizer table. The table depends only on (query, cid), so
+// the multi-query probe computes it once per probing query per bucket
+// with arithmetic identical to the solo scan.
+func (ix *Index) computeTab(query []float32, cid int32, tab, scratch []float32) {
+	pr := ix.ctx.Prof
+	d := int(ix.meta.Dim)
 	ts := pr.Timer("precomputed-table").Start()
 	c := ix.centroidCache[int(cid)*d : (int(cid)+1)*d]
 	for j := range scratch {
@@ -573,12 +590,20 @@ func (ix *Index) scanBucket(query []float32, cid int32, tab, scratch []float32, 
 	}
 	ix.quant.DistanceTableNaive(scratch, tab)
 	pr.Timer("precomputed-table").Stop(ts)
+}
 
+// scanCodes walks bucket cid's code chain through the buffer pool,
+// emitting each entry's TID and PQ code. The code slice aliases the
+// pinned page and is valid only during the callback. MultiSearch scans a
+// bucket once through this walker for all queries probing it.
+func (ix *Index) scanCodes(cid int32, emit func(heap.TID, []byte)) error {
+	ctx := ix.ctx
+	pr := ctx.Prof
+	d := int(ix.meta.Dim)
 	per := int(ix.meta.CentroidsPerPage)
 	blk := ix.meta.FirstCentroidBlk + uint32(int(cid)/per)
 	off := uint16(int(cid)%per) + 1
 	tTuple := pr.Timer("tuple_access")
-	tScan := pr.Timer("adc-scan")
 
 	tsT := tTuple.Start()
 	cbuf, err := ctx.Pool.Pin(ctx.Rel, blk)
@@ -615,13 +640,7 @@ func (ix *Index) scanBucket(query []float32, cid int32, tab, scratch []float32, 
 			tid := heap.UnpackTID(item)
 			code := item[dataEntryHeaderSize:]
 			tTuple.Stop(tsT)
-			tsS := tScan.Start()
-			var dist float32
-			for mm := 0; mm < m; mm++ {
-				dist += tab[mm*ksub+int(code[mm])]
-			}
-			tScan.Stop(tsS)
-			emit(tid, dist)
+			emit(tid, code)
 		}
 		next = pase.NextBlk(pg)
 		dbuf.Release()

@@ -1,0 +1,211 @@
+package ivfpq
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"vecstudy/internal/blas"
+	"vecstudy/internal/minheap"
+	"vecstudy/internal/pase"
+	"vecstudy/internal/pg/am"
+	"vecstudy/internal/pg/heap"
+)
+
+// MultiSearch implements am.BatchIndex for IVF_PQ. Coarse centroid
+// scoring for the whole batch is one blas.L2SqrNT call (bit-equal to the
+// per-pair vec.L2SqrRef of selectProbes), and each probed bucket's code
+// chain is walked once for all queries probing it, amortizing page pins
+// across the batch. The per-(query, bucket) distance tables are still
+// rebuilt from scratch with the exact solo arithmetic — RC#7 is about
+// the table's construction cost, and it is preserved unchanged — only
+// the chain walk and pins are shared.
+//
+// Candidates are recorded per (query, probe-rank) and replayed in each
+// query's own probe order, reproducing the solo push sequence into the
+// size-n collector (RC#6) or, for filtered queries, the bounded TopK,
+// so results are byte-identical to per-query calls. threads > 1 (the
+// RC#3 shared-heap path) degenerates to a per-query loop with solo
+// semantics.
+func (ix *Index) MultiSearch(queries [][]float32, ks []int, params map[string]string, preds []am.Predicate) ([][]am.Result, error) {
+	B := len(queries)
+	if len(ks) != B || (preds != nil && len(preds) != B) {
+		return nil, errors.New("pase/ivfpq: MultiSearch argument lengths differ")
+	}
+	if B == 0 {
+		return nil, nil
+	}
+	pred := func(i int) am.Predicate {
+		if preds == nil {
+			return nil
+		}
+		return preds[i]
+	}
+	anyUnfiltered := false
+	for i := range queries {
+		if len(queries[i]) != int(ix.meta.Dim) {
+			return nil, fmt.Errorf("pase/ivfpq: query dimension %d != %d", len(queries[i]), ix.meta.Dim)
+		}
+		if pred(i) == nil {
+			anyUnfiltered = true
+		} else if ks[i] <= 0 {
+			// Solo SearchFiltered rejects k <= 0; solo Search does not
+			// check (the collector clamps), so only filtered queries get
+			// the explicit error.
+			return nil, errors.New("pase/ivfpq: k must be positive")
+		}
+	}
+	nprobe, err := pase.OptInt(params, "nprobe", 20)
+	if err != nil {
+		return nil, err
+	}
+	threads := 1
+	if anyUnfiltered {
+		if threads, err = pase.OptInt(params, "threads", 1); err != nil {
+			return nil, err
+		}
+	}
+	if threads > 1 {
+		return ix.multiSearchSolo(queries, ks, params, pred)
+	}
+	if nprobe <= 0 {
+		nprobe = 1
+	}
+	if nprobe > int(ix.meta.NList) {
+		nprobe = int(ix.meta.NList)
+	}
+
+	probes := ix.multiSelectProbes(queries, nprobe)
+
+	type sub struct{ qi, rank int }
+	subs := make(map[int32][]sub)
+	for qi, ps := range probes {
+		for rank, cid := range ps {
+			subs[cid] = append(subs[cid], sub{qi, rank})
+		}
+	}
+	order := make([]int32, 0, len(subs))
+	for cid := range subs {
+		order = append(order, cid)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+	cand := make([][][]minheap.Item, B)
+	for i := range cand {
+		cand[i] = make([][]minheap.Item, len(probes[i]))
+	}
+	m := int(ix.meta.M)
+	ksub := int(ix.meta.KSub)
+	scratch := make([]float32, ix.meta.Dim)
+	tabs := make(map[int]int) // qi -> row in tabBuf for the current bucket
+	var tabBuf []float32
+	tScan := ix.ctx.Prof.Timer("adc-scan")
+	for _, cid := range order {
+		ss := subs[cid]
+		// One RC#7 table per probing query for this bucket, with the
+		// exact solo arithmetic (residual + naive sub-quantizer table).
+		if need := len(ss) * m * ksub; cap(tabBuf) < need {
+			tabBuf = make([]float32, need)
+		}
+		for k := range tabs {
+			delete(tabs, k)
+		}
+		for row, sb := range ss {
+			tab := tabBuf[row*m*ksub : (row+1)*m*ksub]
+			ix.computeTab(queries[sb.qi], cid, tab, scratch)
+			tabs[sb.qi] = row
+		}
+		err := ix.scanCodes(cid, func(tid heap.TID, code []byte) {
+			id := packTID(tid)
+			for _, sb := range ss {
+				tab := tabBuf[tabs[sb.qi]*m*ksub:]
+				tsS := tScan.Start()
+				var dist float32
+				for mm := 0; mm < m; mm++ {
+					dist += tab[mm*ksub+int(code[mm])]
+				}
+				tScan.Stop(tsS)
+				cand[sb.qi][sb.rank] = append(cand[sb.qi][sb.rank], minheap.Item{ID: id, Dist: dist})
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	out := make([][]am.Result, B)
+	for i := 0; i < B; i++ {
+		if p := pred(i); p != nil {
+			top := minheap.NewTopK(ks[i])
+			for _, lst := range cand[i] {
+				for _, it := range lst {
+					ok, err := p(unpackTID(it.ID))
+					if err != nil {
+						return nil, err
+					}
+					if ok {
+						top.Push(it.ID, it.Dist)
+					}
+				}
+			}
+			out[i] = itemsToResults(top.Results())
+			continue
+		}
+		collector := minheap.NewCollector(1024)
+		for _, lst := range cand[i] {
+			for _, it := range lst {
+				collector.Push(it.ID, it.Dist)
+			}
+		}
+		out[i] = itemsToResults(collector.PopK(ks[i]))
+	}
+	return out, nil
+}
+
+// multiSearchSolo executes the batch as a per-query loop with exact solo
+// semantics.
+func (ix *Index) multiSearchSolo(queries [][]float32, ks []int, params map[string]string, pred func(int) am.Predicate) ([][]am.Result, error) {
+	out := make([][]am.Result, len(queries))
+	for i := range queries {
+		var hits []am.Result
+		var err error
+		if p := pred(i); p != nil {
+			hits, err = ix.SearchFiltered(queries[i], ks[i], params, p)
+		} else {
+			hits, err = ix.Search(queries[i], ks[i], params)
+		}
+		if err != nil {
+			return nil, err
+		}
+		out[i] = hits
+	}
+	return out, nil
+}
+
+// multiSelectProbes is selectProbes for the whole batch via one batched
+// scoring call; see the ivfflat sibling for the bitwise-parity argument.
+func (ix *Index) multiSelectProbes(queries [][]float32, nprobe int) [][]int32 {
+	d := int(ix.meta.Dim)
+	nlist := int(ix.meta.NList)
+	B := len(queries)
+	flat := make([]float32, B*d)
+	for i, q := range queries {
+		copy(flat[i*d:(i+1)*d], q)
+	}
+	dists := make([]float32, B*nlist)
+	blas.L2SqrNTParallel(flat, B, d, ix.centroidCache[:nlist*d], nlist, dists, 0)
+	out := make([][]int32, B)
+	for i := range queries {
+		h := minheap.NewTopK(nprobe)
+		for c := 0; c < nlist; c++ {
+			h.Push(int64(c), dists[i*nlist+c])
+		}
+		items := h.Results()
+		probes := make([]int32, len(items))
+		for j, it := range items {
+			probes[j] = int32(it.ID)
+		}
+		out[i] = probes
+	}
+	return out
+}

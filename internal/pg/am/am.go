@@ -70,6 +70,24 @@ type FilteredIndex interface {
 	SearchFiltered(query []float32, k int, params map[string]string, pred Predicate) ([]Result, error)
 }
 
+// BatchIndex is the optional extension an access method implements when
+// it can answer several queries as one multi-query probe — the serving
+// side of the paper's RC#1 (batched SGEMM-shaped scoring beats per-pair
+// loops). The query coalescer (internal/batch) feeds it concurrently-
+// arrived queries against the same index so centroid scoring is batched
+// and bucket page pins are amortized across the batch.
+//
+// The contract is strict: MultiSearch(queries, ks, params, preds)[i]
+// must be byte-identical to what the solo call for query i would return
+// (Search when preds is nil or preds[i] is nil, SearchFiltered
+// otherwise, with the same params). preds is either nil or parallel to
+// queries; ks is parallel to queries. Implementations may assume the
+// single-goroutine calling discipline of Search.
+type BatchIndex interface {
+	Index
+	MultiSearch(queries [][]float32, ks []int, params map[string]string, preds []Predicate) ([][]Result, error)
+}
+
 // BuildFunc constructs an index over the table's current contents.
 type BuildFunc func(ctx *BuildContext) (Index, error)
 

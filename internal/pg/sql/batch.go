@@ -1,0 +1,382 @@
+package sql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vecstudy/internal/minheap"
+	"vecstudy/internal/pg/am"
+	"vecstudy/internal/pg/heap"
+	"vecstudy/internal/vec"
+)
+
+// batch.go is the SQL side of server-side batched kNN execution: a
+// vector search is split into a plan step (VectorQuery) and a run step,
+// so the query coalescer (internal/batch) can hold planned queries for a
+// SET batch_window and execute a whole group as one multi-query probe.
+// Grouping is by GroupKey — same table, ORDER BY column, access method,
+// filter strategy, query dimensionality, and effective session settings
+// — because only then does one MultiSearch (or one shared exact scan)
+// reproduce every member's solo execution byte for byte.
+
+// BatchWindowSetting and BatchMaxSetting are the session knobs steering
+// query coalescing: the former is the window, in microseconds, a
+// batchable query waits for same-group company (0 disables coalescing);
+// the latter caps how many queries one multi-query probe may carry.
+const (
+	BatchWindowSetting = "batch_window"
+	BatchMaxSetting    = "batch_max"
+)
+
+// BatchWindowMaxMicros bounds SET batch_window: one second expressed in
+// the knob's own unit. A coalescing window is a latency tax paid on the
+// first query of every batch, so the knob refuses values that would turn
+// a tail-latency knob into a stall.
+const BatchWindowMaxMicros = 1000000
+
+// BatchMaxLimit bounds SET batch_max. Beyond ~1k queries a probe's
+// candidate buffers dwarf the page-pin savings, and the admission layer
+// should shed load instead.
+const BatchMaxLimit = 1024
+
+// VectorQuery is a planned-but-unexecuted vector search: everything
+// runVectorSearch decides before touching the index or heap, captured so
+// the coalescer can group it with concurrently planned queries. Run
+// executes it solo with exactly the original semantics; MultiRun
+// executes a whole group.
+type VectorQuery struct {
+	s       *Session
+	st      *SelectStmt
+	tbl     *heap.Table
+	outCols []int
+	cols    []string
+	pred    *compiledPred
+	plan    filterPlan
+	idx     am.Index
+	vcol    int
+	k       int
+}
+
+// planVector performs the planning half of runVectorSearch: resolve the
+// vector column, fix k, look up the index, and pick the filter strategy.
+// A k == 0 query skips planning entirely (as the solo path did) and its
+// Run returns the empty result without touching the planner.
+func (s *Session) planVector(st *SelectStmt, tbl *heap.Table, outCols []int, pred *compiledPred) (*VectorQuery, error) {
+	schema := tbl.Schema()
+	vcol := schema.ColIndex(st.OrderCol)
+	if vcol < 0 || schema.Cols[vcol].Type != heap.Float4Array {
+		return nil, fmt.Errorf("sql: ORDER BY column %q is not a vector column", st.OrderCol)
+	}
+	k := st.Limit
+	if !st.HasLimit {
+		k = int(tbl.NTuples())
+	}
+	q := &VectorQuery{
+		s:       s,
+		st:      st,
+		tbl:     tbl,
+		outCols: outCols,
+		cols:    colNames(outCols, schema, st),
+		pred:    pred,
+		vcol:    vcol,
+		k:       k,
+	}
+	if k == 0 {
+		return q, nil
+	}
+	q.idx = s.db.IndexOn(st.Table, st.OrderCol)
+	plan, err := s.planFilter(tbl, q.idx, pred)
+	if err != nil {
+		return nil, err
+	}
+	q.plan = plan
+	return q, nil
+}
+
+// Run executes the query solo, byte-for-byte the original
+// runVectorSearch dispatch.
+func (q *VectorQuery) Run() (*Result, error) {
+	s := q.s
+	res := &Result{Cols: q.cols}
+	if q.k == 0 {
+		return res, nil
+	}
+	s.lastFilter = execTrace{}
+
+	var hits []am.Result
+	var err error
+	switch q.plan.strategy {
+	case FilterNone:
+		if q.idx == nil {
+			return s.exactSearch(q.st, q.tbl, q.vcol, q.k, nil, q.outCols, res)
+		}
+		hits, err = q.idx.Search(q.st.QueryVec, q.k, s.settings)
+	case FilterPre:
+		return s.exactSearch(q.st, q.tbl, q.vcol, q.k, q.pred, q.outCols, res)
+	case FilterPost:
+		hits, err = s.postFilterSearch(q.tbl, q.idx, q.st.QueryVec, q.k, q.pred)
+	case FilterInTraversal:
+		hits, err = q.idx.(am.FilteredIndex).SearchFiltered(q.st.QueryVec, q.k, s.settings, predicateFor(q.tbl, q.pred))
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, h := range hits {
+		row, err := s.fetchRow(q.tbl, h.TID, q.outCols, h.Dist)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Batchable reports whether the query may join a coalescing batch, with
+// a human-readable reason when it may not. Unbatchable shapes: no LIMIT
+// (k is the table size — nothing to amortize), count(*), the post-filter
+// strategy (its over-fetch-and-refill loop is adaptive per query), an
+// access method without MultiSearch, and threads > 1 (the RC#3
+// shared-heap path owns the worker pool; coalescing it would serialize
+// what the session asked to parallelize).
+func (q *VectorQuery) Batchable() (bool, string) {
+	if q.st.CountStar {
+		return false, "count(*)"
+	}
+	if !q.st.HasLimit {
+		return false, "no LIMIT"
+	}
+	if q.k <= 0 {
+		return false, "LIMIT 0"
+	}
+	if q.plan.strategy == FilterPost {
+		return false, "post-filter strategy"
+	}
+	if q.idx != nil && q.plan.strategy != FilterPre {
+		if _, ok := q.idx.(am.BatchIndex); !ok {
+			return false, fmt.Sprintf("access method %q has no multi-query probe", q.idx.AM())
+		}
+		if v, ok := q.s.settings["threads"]; ok && v != "1" && v != "" {
+			return false, "threads > 1"
+		}
+	}
+	return true, ""
+}
+
+// GroupKey identifies the coalescing group: queries with equal keys are
+// guaranteed to produce solo-identical results when executed as one
+// multi-query probe. The access-method slot is "exact" for plans that
+// never touch an index (no index, or the pre-filter strategy), and the
+// query's own dimensionality is part of the key so a dimension-mismatch
+// error stays confined to the queries that would have failed solo.
+// Different WHERE predicates may share a group — the strategy component
+// keeps each group uniformly filtered or uniformly not.
+func (q *VectorQuery) GroupKey() string {
+	amName := "exact"
+	if q.idx != nil && q.plan.strategy != FilterPre {
+		amName = q.idx.AM()
+	}
+	return fmt.Sprintf("%s|%s|%s|%s|d=%d|%s",
+		q.st.Table, q.st.OrderCol, amName, q.plan.strategy, len(q.st.QueryVec), q.settingsKey())
+}
+
+// settingsKey renders every known setting at its effective value, sorted
+// by name. Keying on effective values (not the raw SET map) lets a
+// session that SET nprobe = 20 batch with one that left the default.
+func (q *VectorQuery) settingsKey() string {
+	parts := make([]string, 0, len(knownSettings))
+	for _, st := range knownSettings {
+		parts = append(parts, st.Name+"="+q.s.effective(st))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " ")
+}
+
+// Params is the canonical scan-parameter map for the group: every known
+// setting at its effective value. Passing defaults explicitly is
+// behavior-identical to each member's own raw settings map because the
+// knownSettings defaults mirror the access methods' own fallbacks.
+func (q *VectorQuery) Params() map[string]string {
+	out := make(map[string]string, len(knownSettings))
+	for _, st := range knownSettings {
+		out[st.Name] = q.s.effective(st)
+	}
+	return out
+}
+
+// Finish materializes index hits into the query's projected result rows
+// (the tail of the solo dispatch).
+func (q *VectorQuery) Finish(hits []am.Result) (*Result, error) {
+	res := &Result{Cols: q.cols}
+	for _, h := range hits {
+		row, err := q.s.fetchRow(q.tbl, h.TID, q.outCols, h.Dist)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// EffectiveSetting resolves a known setting to its effective value for
+// this session (the SET override or the default); unknown names return
+// "". The coalescer reads batch_window and batch_max through this.
+func (s *Session) EffectiveSetting(name string) string {
+	st, ok := lookupSetting(name)
+	if !ok {
+		return ""
+	}
+	return s.effective(st)
+}
+
+// ExecuteOrPlan parses and runs one statement like Execute, except that
+// a vector search is returned as a planned, unexecuted *VectorQuery
+// (with a nil *Result) for the caller to coalesce or Run. Every other
+// statement executes to completion exactly as Execute would.
+func (s *Session) ExecuteOrPlan(text string) (*Result, *VectorQuery, error) {
+	stmt, err := Parse(text)
+	if err != nil {
+		return nil, nil, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok || sel.OrderCol == "" {
+		res, err := s.run(stmt)
+		return res, nil, err
+	}
+	tbl, err := s.db.Table(sel.Table)
+	if err != nil {
+		return nil, nil, err
+	}
+	outCols, err := resolveColumns(sel, tbl.Schema())
+	if err != nil {
+		return nil, nil, err
+	}
+	pred, err := compilePred(sel.Where, tbl.Schema())
+	if err != nil {
+		return nil, nil, err
+	}
+	q, err := s.planVector(sel, tbl, outCols, pred)
+	if err != nil {
+		return nil, nil, err
+	}
+	return nil, q, nil
+}
+
+// MultiRun executes a group of same-GroupKey queries as one multi-query
+// probe and returns each query's Result in order. Index groups go
+// through the access method's MultiSearch; exact groups share one heap
+// pass (multiExact). An error anywhere fails the whole group — every
+// member observes it, which for uniform-key groups is the error each
+// solo run would have raised (dimension mismatches are keyed into their
+// own group) or a heap-access failure no member could have dodged.
+func MultiRun(qs []*VectorQuery) ([]*Result, error) {
+	if len(qs) == 0 {
+		return nil, nil
+	}
+	for _, q := range qs {
+		q.s.lastFilter = execTrace{}
+	}
+	lead := qs[0]
+
+	var hits [][]am.Result
+	var err error
+	if lead.idx == nil || lead.plan.strategy == FilterPre {
+		hits, err = multiExact(qs)
+	} else {
+		bidx := lead.idx.(am.BatchIndex)
+		queries := make([][]float32, len(qs))
+		ks := make([]int, len(qs))
+		for i, q := range qs {
+			queries[i] = q.st.QueryVec
+			ks[i] = q.k
+		}
+		var preds []am.Predicate
+		if lead.plan.strategy == FilterInTraversal {
+			preds = make([]am.Predicate, len(qs))
+			for i, q := range qs {
+				preds[i] = predicateFor(q.tbl, q.pred)
+			}
+		}
+		hits, err = bidx.MultiSearch(queries, ks, lead.Params(), preds)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, len(qs))
+	for i, q := range qs {
+		r, err := q.Finish(hits[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// multiExact serves an exact group (no index, or pre-filter) with one
+// shared heap pass. Per tuple the row is decoded at most once and the
+// vector materialized at most once, then fanned out to every member
+// whose predicate admits it. Each member keeps its own bounded top-k
+// heap and its own ordinal counter over its admitted rows, so heap IDs
+// — and therefore distance-tie ordering — match its solo exactSearch
+// push for push.
+func multiExact(qs []*VectorQuery) ([][]am.Result, error) {
+	lead := qs[0]
+	tbl := lead.tbl
+	schema := tbl.Schema()
+	filtered := lead.plan.strategy == FilterPre
+
+	tops := make([]*minheap.TopK, len(qs))
+	tids := make([][]heap.TID, len(qs))
+	for i, q := range qs {
+		tops[i] = minheap.NewTopK(q.k)
+		if filtered {
+			q.s.lastFilter.strategy = FilterPre
+		}
+	}
+	err := tbl.Scan(func(tid heap.TID, tup []byte) (bool, error) {
+		var vals []any
+		var v []float32
+		for i, q := range qs {
+			if q.pred != nil {
+				if vals == nil {
+					var err error
+					if vals, err = schema.Decode(tup); err != nil {
+						return false, err
+					}
+				}
+				if !q.pred.eval(vals) {
+					continue
+				}
+			}
+			if v == nil {
+				var err error
+				if v, err = schema.VectorAt(tup, lead.vcol); err != nil {
+					return false, err
+				}
+				// Group members share query dimensionality (it is in the
+				// key), so one check stands for all — and fires only on a
+				// tuple some member admits, exactly as solo.
+				if len(v) != len(q.st.QueryVec) {
+					return false, fmt.Errorf("sql: query vector has %d dims, column %q has %d", len(q.st.QueryVec), q.st.OrderCol, len(v))
+				}
+			}
+			tops[i].Push(int64(len(tids[i])), vec.L2Sqr(q.st.QueryVec, v))
+			tids[i] = append(tids[i], tid)
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]am.Result, len(qs))
+	for i := range qs {
+		items := tops[i].Results()
+		hits := make([]am.Result, len(items))
+		for j, it := range items {
+			hits[j] = am.Result{TID: tids[i][it.ID], Dist: it.Dist}
+		}
+		out[i] = hits
+	}
+	return out, nil
+}

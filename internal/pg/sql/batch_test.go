@@ -1,0 +1,130 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBatchSettingsValidation(t *testing.T) {
+	s := newSession(t)
+	for _, q := range []string{
+		"SET batch_window = -1",
+		"SET batch_window = 1000001",
+		"SET batch_window = soon",
+		"SET batch_max = 0",
+		"SET batch_max = -4",
+		"SET batch_max = 1025",
+		"SET batch_max = many",
+	} {
+		if _, err := s.Execute(q); err == nil {
+			t.Errorf("accepted invalid setting: %s", q)
+		}
+	}
+	mustExec(t, s, "SET batch_window = 250")
+	if res := mustExec(t, s, "SHOW batch_window"); res.Rows[0][0].(string) != "250" {
+		t.Errorf("SHOW batch_window = %v", res.Rows[0][0])
+	}
+	mustExec(t, s, "SET batch_max = 64")
+	if res := mustExec(t, s, "SHOW batch_max"); res.Rows[0][0].(string) != "64" {
+		t.Errorf("SHOW batch_max = %v", res.Rows[0][0])
+	}
+}
+
+func TestBatchSettingsInShowAll(t *testing.T) {
+	s := newSession(t)
+	res := mustExec(t, s, "SHOW ALL")
+	got := map[string]string{}
+	for _, row := range res.Rows {
+		got[row[0].(string)] = row[1].(string)
+	}
+	if got[BatchWindowSetting] != "0" {
+		t.Errorf("default %s = %q, want 0 (off)", BatchWindowSetting, got[BatchWindowSetting])
+	}
+	if got[BatchMaxSetting] != "32" {
+		t.Errorf("default %s = %q, want 32", BatchMaxSetting, got[BatchMaxSetting])
+	}
+}
+
+func TestEffectiveSetting(t *testing.T) {
+	s := newSession(t)
+	if v := s.EffectiveSetting(BatchWindowSetting); v != "0" {
+		t.Errorf("default effective batch_window = %q", v)
+	}
+	mustExec(t, s, "SET batch_window = 400")
+	if v := s.EffectiveSetting(BatchWindowSetting); v != "400" {
+		t.Errorf("effective batch_window after SET = %q", v)
+	}
+	if v := s.EffectiveSetting("no_such_knob"); v != "" {
+		t.Errorf("unknown knob effective = %q, want empty", v)
+	}
+}
+
+// TestExplainBatchable checks EXPLAIN surfaces the coalescing verdict:
+// batchable index scans report their group key; unbatchable shapes
+// report the reason.
+func TestExplainBatchable(t *testing.T) {
+	s := newSession(t)
+	loadVectors(t, s, 300)
+	mustExec(t, s, "CREATE INDEX b_idx ON t USING ivfflat (vec) WITH (clusters = 16, sample_ratio = 1, seed = 1)")
+	planText := func(q string) string {
+		res := mustExec(t, s, q)
+		var b strings.Builder
+		for _, row := range res.Rows {
+			b.WriteString(row[0].(string))
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+
+	plan := planText("EXPLAIN SELECT id FROM t ORDER BY vec <-> '{5, 5, 0, 0}' LIMIT 3")
+	if !strings.Contains(plan, "Batchable: yes (group t|vec|ivfflat|none|d=4|") {
+		t.Errorf("index scan not reported batchable with its group key:\n%s", plan)
+	}
+
+	plan = planText("EXPLAIN SELECT id FROM t ORDER BY vec <-> '{5, 5, 0, 0}'")
+	if !strings.Contains(plan, "Batchable: no (no LIMIT)") {
+		t.Errorf("missing LIMIT not reported:\n%s", plan)
+	}
+
+	mustExec(t, s, "SET threads = 4")
+	plan = planText("EXPLAIN SELECT id FROM t ORDER BY vec <-> '{5, 5, 0, 0}' LIMIT 3")
+	if !strings.Contains(plan, "Batchable: no (threads > 1)") {
+		t.Errorf("threads > 1 not reported:\n%s", plan)
+	}
+	mustExec(t, s, "SET threads = 1")
+
+	mustExec(t, s, "SET filter_strategy = post")
+	plan = planText("EXPLAIN SELECT id FROM t WHERE id < 200 ORDER BY vec <-> '{5, 5, 0, 0}' LIMIT 3")
+	if !strings.Contains(plan, "Batchable: no (post-filter strategy)") {
+		t.Errorf("post-filter not reported:\n%s", plan)
+	}
+	mustExec(t, s, "SET filter_strategy = pre")
+	plan = planText("EXPLAIN SELECT id FROM t WHERE id < 200 ORDER BY vec <-> '{5, 5, 0, 0}' LIMIT 3")
+	if !strings.Contains(plan, "Batchable: yes (group t|vec|exact|pre-filter|d=4|") {
+		t.Errorf("pre-filter exact group not reported batchable:\n%s", plan)
+	}
+}
+
+// TestGroupKeyReflectsEffectiveSettings checks two sessions whose SETs
+// differ only cosmetically (explicit default vs unset) produce equal
+// keys, while a real difference separates them.
+func TestGroupKeyReflectsEffectiveSettings(t *testing.T) {
+	d := newSession(t) // session A on its own db
+	loadVectors(t, d, 100)
+	key := func(s *Session) string {
+		_, q, err := s.ExecuteOrPlan("SELECT id FROM t ORDER BY vec <-> '{1, 1, 0, 0}' LIMIT 3")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q.GroupKey()
+	}
+	base := key(d)
+	mustExec(t, d, "SET nprobe = 20") // explicit default
+	if k := key(d); k != base {
+		t.Errorf("explicit default changed the group key:\n%s\nvs\n%s", base, k)
+	}
+	mustExec(t, d, "SET nprobe = 7")
+	if k := key(d); k == base {
+		t.Error("different nprobe kept the same group key")
+	}
+}

@@ -30,6 +30,8 @@ type Setting struct {
 // SHOW ALL order. The scan-time defaults mirror the access methods'
 // own fallbacks (pase.OptInt defaults).
 var knownSettings = []Setting{
+	{BatchMaxSetting, "32", "batched execution: max queries coalesced into one multi-query probe"},
+	{BatchWindowSetting, "0", "batched execution: coalescing window in microseconds (0 = off)"},
 	{BufferPartitionsSetting, "", "buffer-mapping partitions of the shared pool (1 = paper's single lock)"},
 	{"efs", "200", "hnsw: search queue length"},
 	{FilterOverfetchSetting, "4", "filtered kNN: post-filter over-fetch multiplier (k' = k*alpha)"},
@@ -78,11 +80,11 @@ func (s *Session) Set(name, value string) error { return s.applySet(name, value)
 
 // applySet is the single SET path shared by Set and the SET statement.
 func (s *Session) applySet(name, value string) error {
+	if err := ValidateSetting(name, value); err != nil {
+		return err
+	}
 	if name == BufferPartitionsSetting {
-		n, err := strconv.Atoi(value)
-		if err != nil {
-			return fmt.Errorf("sql: SET %s expects an integer: %w", BufferPartitionsSetting, err)
-		}
+		n, _ := strconv.Atoi(value)
 		if err := s.db.SetBufferPartitions(n); err != nil {
 			return err
 		}
@@ -90,10 +92,23 @@ func (s *Session) applySet(name, value string) error {
 		s.settings[name] = strconv.Itoa(s.db.Pool().Partitions())
 		return nil
 	}
+	s.settings[name] = value
+	return nil
+}
+
+// ValidateSetting checks one knob assignment without applying it. The
+// cluster router validates at record time through this — its SETs are
+// replayed onto shard sessions later, where a bad value would otherwise
+// surface as a confusing error on an unrelated query.
+func ValidateSetting(name, value string) error {
 	if _, ok := lookupSetting(name); !ok {
 		return fmt.Errorf("sql: unrecognized setting %q (SHOW ALL lists the known settings)", name)
 	}
 	switch name {
+	case BufferPartitionsSetting:
+		if _, err := strconv.Atoi(value); err != nil {
+			return fmt.Errorf("sql: SET %s expects an integer: %w", BufferPartitionsSetting, err)
+		}
 	case FilterStrategySetting:
 		switch value {
 		case "auto", "pre", "post", "intraversal":
@@ -104,8 +119,15 @@ func (s *Session) applySet(name, value string) error {
 		if n, err := strconv.Atoi(value); err != nil || n < 1 {
 			return fmt.Errorf("sql: SET %s expects a positive integer", FilterOverfetchSetting)
 		}
+	case BatchWindowSetting:
+		if n, err := strconv.Atoi(value); err != nil || n < 0 || n > BatchWindowMaxMicros {
+			return fmt.Errorf("sql: SET %s expects an integer between 0 and %d (microseconds)", BatchWindowSetting, BatchWindowMaxMicros)
+		}
+	case BatchMaxSetting:
+		if n, err := strconv.Atoi(value); err != nil || n < 1 || n > BatchMaxLimit {
+			return fmt.Errorf("sql: SET %s expects an integer between 1 and %d", BatchMaxSetting, BatchMaxLimit)
+		}
 	}
-	s.settings[name] = value
 	return nil
 }
 
@@ -294,54 +316,15 @@ func (s *Session) runSelect(st *SelectStmt) (*Result, error) {
 // Unfiltered queries prefer an index scan and fall back to an exact
 // scan-and-sort; filtered queries go through the planner seam, which
 // picks pre-filter, post-filter, or in-traversal by estimated
-// selectivity (see planner.go).
+// selectivity (see planner.go). Planning and execution are split as
+// planVector + Run so the query coalescer can hold a planned query for
+// a batch window (see batch.go).
 func (s *Session) runVectorSearch(st *SelectStmt, tbl *heap.Table, outCols []int, pred *compiledPred) (*Result, error) {
-	schema := tbl.Schema()
-	vcol := schema.ColIndex(st.OrderCol)
-	if vcol < 0 || schema.Cols[vcol].Type != heap.Float4Array {
-		return nil, fmt.Errorf("sql: ORDER BY column %q is not a vector column", st.OrderCol)
-	}
-	k := st.Limit
-	if !st.HasLimit {
-		k = int(tbl.NTuples())
-	}
-	res := &Result{Cols: colNames(outCols, schema, st)}
-	if k == 0 {
-		return res, nil
-	}
-
-	idx := s.db.IndexOn(st.Table, st.OrderCol)
-	plan, err := s.planFilter(tbl, idx, pred)
+	q, err := s.planVector(st, tbl, outCols, pred)
 	if err != nil {
 		return nil, err
 	}
-	s.lastFilter = execTrace{}
-
-	var hits []am.Result
-	switch plan.strategy {
-	case FilterNone:
-		if idx == nil {
-			return s.exactSearch(st, tbl, vcol, k, nil, outCols, res)
-		}
-		hits, err = idx.Search(st.QueryVec, k, s.settings)
-	case FilterPre:
-		return s.exactSearch(st, tbl, vcol, k, pred, outCols, res)
-	case FilterPost:
-		hits, err = s.postFilterSearch(tbl, idx, st.QueryVec, k, pred)
-	case FilterInTraversal:
-		hits, err = idx.(am.FilteredIndex).SearchFiltered(st.QueryVec, k, s.settings, predicateFor(tbl, pred))
-	}
-	if err != nil {
-		return nil, err
-	}
-	for _, h := range hits {
-		row, err := s.fetchRow(tbl, h.TID, outCols, h.Dist)
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, row)
-	}
-	return res, nil
+	return q.Run()
 }
 
 // execTrace records what the last filtered search actually did, for
@@ -529,6 +512,7 @@ func (s *Session) runExplain(st *ExplainStmt) (*Result, error) {
 	// table still renders a shape-only plan (the statement would fail at
 	// execution, but EXPLAIN has no DDL side effects to protect).
 	var pred *compiledPred
+	var vq *VectorQuery
 	plan := filterPlan{strategy: FilterNone}
 	if tbl, err := s.db.Table(sel.Table); err == nil {
 		pred, err = compilePred(sel.Where, tbl.Schema())
@@ -536,7 +520,11 @@ func (s *Session) runExplain(st *ExplainStmt) (*Result, error) {
 			return nil, err
 		}
 		if sel.OrderCol != "" {
-			if plan, err = s.planFilter(tbl, s.db.IndexOn(sel.Table, sel.OrderCol), pred); err != nil {
+			// Prefer the full plan (it also answers batchability); a
+			// non-vector ORDER BY column keeps the shape-only rendering.
+			if q, vErr := s.planVector(sel, tbl, nil, pred); vErr == nil {
+				vq, plan = q, q.plan
+			} else if plan, err = s.planFilter(tbl, s.db.IndexOn(sel.Table, sel.OrderCol), pred); err != nil {
 				return nil, err
 			}
 		}
@@ -568,6 +556,13 @@ func (s *Session) runExplain(st *ExplainStmt) (*Result, error) {
 				fmt.Sprintf("    -> Seq Scan on %s", sel.Table),
 			)
 			filterLine("       ")
+		}
+		if vq != nil {
+			if ok, reason := vq.Batchable(); ok {
+				lines = append(lines, fmt.Sprintf("Batchable: yes (group %s)", vq.GroupKey()))
+			} else {
+				lines = append(lines, fmt.Sprintf("Batchable: no (%s)", reason))
+			}
 		}
 	} else {
 		lines = append(lines, fmt.Sprintf("Seq Scan on %s", sel.Table))

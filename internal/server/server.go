@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vecstudy/internal/batch"
 	"vecstudy/internal/pg/db"
 	"vecstudy/internal/pg/sql"
 	"vecstudy/internal/wire"
@@ -84,10 +85,19 @@ type StatsRower interface {
 	StatsRows() [][]any
 }
 
-// dbBackend adapts a single database to Backend.
-type dbBackend struct{ d *db.DB }
+// dbBackend adapts a single database to Backend. Every session funnels
+// through one shared query coalescer, so concurrently arriving kNN
+// queries can execute as multi-query probes (SET batch_window opts a
+// session in; see internal/batch).
+type dbBackend struct {
+	d  *db.DB
+	co *batch.Coalescer
+}
 
-func (b dbBackend) NewSession() Session { return sql.NewSession(b.d) }
+func (b dbBackend) NewSession() Session { return batch.NewSession(sql.NewSession(b.d), b.co) }
+
+// StatsRows contributes the coalescer's counters to SHOW server_stats.
+func (b dbBackend) StatsRows() [][]any { return b.co.StatsRows() }
 
 // Server serves a backend over TCP.
 type Server struct {
@@ -113,7 +123,7 @@ type Server struct {
 // and data are visible to every connection; only SET knobs are
 // per-session.
 func New(d *db.DB, cfg Config) *Server {
-	return NewWithBackend(dbBackend{d}, cfg)
+	return NewWithBackend(dbBackend{d: d, co: batch.NewCoalescer()}, cfg)
 }
 
 // NewWithBackend wraps any Backend in a server — the cluster router

@@ -357,3 +357,83 @@ func TestGracefulDrain(t *testing.T) {
 		t.Error("second shutdown did not report already shut down")
 	}
 }
+
+// TestBatchedServingEndToEnd drives coalescing over the wire: clients
+// opt in with SET batch_window, issue concurrent kNN queries, and get
+// exactly the rows a solo session returns, while SHOW server_stats
+// reports the probes the shared coalescer flushed.
+func TestBatchedServingEndToEnd(t *testing.T) {
+	const clients, perClient = 8, 6
+	s := newServer(t, 200, Config{MaxActive: clients + 1})
+
+	// Solo baselines through a client with coalescing off.
+	base := dial(t, s)
+	want := make(map[int]int32)
+	for q := 0; q < perClient; q++ {
+		res, err := base.Execute(fmt.Sprintf(
+			"SELECT id FROM t ORDER BY vec <-> '{%d, %d, 0, 0}' LIMIT 1", q*13, q*13))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[q] = res.Rows[0][0].(int32)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := client.Dial(s.Addr().String())
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer c.Close()
+			for _, set := range []string{"SET batch_window = 2000", "SET batch_max = 8"} {
+				if _, err := c.Execute(set); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+			for q := 0; q < perClient; q++ {
+				res, err := c.Execute(fmt.Sprintf(
+					"SELECT id FROM t ORDER BY vec <-> '{%d, %d, 0, 0}' LIMIT 1", q*13, q*13))
+				if err != nil {
+					errs[i] = fmt.Errorf("client %d query %d: %w", i, q, err)
+					return
+				}
+				if got := res.Rows[0][0].(int32); got != want[q] {
+					errs[i] = fmt.Errorf("client %d query %d: id %d, solo %d", i, q, got, want[q])
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	res, err := base.Execute("SHOW server_stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := map[string]string{}
+	for _, row := range res.Rows {
+		stats[row[0].(string)] = fmt.Sprint(row[1])
+	}
+	for _, key := range []string{"batch_probes", "batch_queries_batched", "batch_queries_solo", "batch_queries_unbatchable", "batch_max_size"} {
+		if _, ok := stats[key]; !ok {
+			t.Errorf("SHOW server_stats is missing %q", key)
+		}
+	}
+	if stats["batch_probes"] == "0" {
+		t.Error("no multi-query probe flushed despite batch_window > 0")
+	}
+	if stats["batch_queries_solo"] == "0" {
+		t.Error("baseline client's window=0 queries were not counted solo")
+	}
+}
