@@ -14,13 +14,24 @@
 // same seed and filters its own slice, so the loads are disjoint and
 // reproducible without coordination. Queries and ground truth are
 // always global (they describe the union) and are emitted unchanged.
+//
+// With -churn del=0.2,upd=0.1 an additional <name>_churn.sql file is
+// written: a self-contained, deterministic SQL stream (CREATE TABLE,
+// then interleaved INSERT/DELETE/UPDATE statements) exercising the
+// dynamic-data subsystem. Fractions are of the base set; deletes and
+// updates target uniformly random still-live rows and are spread evenly
+// through the insert stream after a 10% warmup.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 
 	"vecstudy/internal/dataset"
 	"vecstudy/internal/vec"
@@ -34,6 +45,8 @@ func main() {
 		k       = flag.Int("k", 100, "ground-truth neighbors per query")
 		out     = flag.String("out", ".", "output directory")
 		shard   = flag.String("shard", "", "emit one shard's base slice, as \"i/N\" (modulo placement: row mod N == i)")
+		churn   = flag.String("churn", "", "also emit an interleaved INSERT/DELETE/UPDATE SQL stream, as \"del=0.2,upd=0.1\"")
+		churnTb = flag.String("churn-table", "items", "table name used in the churn SQL stream")
 	)
 	flag.Parse()
 
@@ -84,6 +97,137 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s, %s, %s\n", base, query, gt)
+
+	if *churn != "" {
+		delFrac, updFrac, err := parseChurn(*churn)
+		if err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(*out, ds.Name+"_churn.sql")
+		nStmts, err := writeChurn(path, ds.Base, *churnTb, delFrac, updFrac, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d statements, del=%.2f upd=%.2f)\n", path, nStmts, delFrac, updFrac)
+	}
+}
+
+// parseChurn parses "del=0.2,upd=0.1" (either key may be omitted).
+func parseChurn(s string) (delFrac, updFrac float64, err error) {
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return 0, 0, fmt.Errorf("bad -churn component %q, want key=fraction", part)
+		}
+		f, perr := strconv.ParseFloat(v, 64)
+		if perr != nil || f < 0 || f > 1 {
+			return 0, 0, fmt.Errorf("bad -churn fraction %q, want a number in [0,1]", v)
+		}
+		switch k {
+		case "del":
+			delFrac = f
+		case "upd":
+			updFrac = f
+		default:
+			return 0, 0, fmt.Errorf("unknown -churn key %q, want del or upd", k)
+		}
+	}
+	return delFrac, updFrac, nil
+}
+
+// writeChurn emits a deterministic SQL stream: CREATE TABLE, then the
+// base rows as INSERTs with DELETE and UPDATE statements interleaved
+// evenly after a 10%% warmup. Deletes target uniformly random live rows;
+// updates perturb the row's vector in place (small additive noise keeps
+// the update in-distribution, so post-churn recall is comparable).
+func writeChurn(path string, base *vec.Flat, table string, delFrac, updFrac float64, seed int64) (int, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	n := base.N()
+	rng := rand.New(rand.NewSource(seed + 1))
+
+	// Churn schedule: 'd' and 'u' ops shuffled together, dealt out evenly
+	// across the post-warmup insert stream.
+	ops := make([]byte, 0, int(delFrac*float64(n))+int(updFrac*float64(n)))
+	for i := 0; i < int(delFrac*float64(n)); i++ {
+		ops = append(ops, 'd')
+	}
+	for i := 0; i < int(updFrac*float64(n)); i++ {
+		ops = append(ops, 'u')
+	}
+	rng.Shuffle(len(ops), func(i, j int) { ops[i], ops[j] = ops[j], ops[i] })
+
+	warm := n / 10
+	if warm < 1 {
+		warm = 1
+	}
+	live := make([]int, 0, n) // ids inserted and not yet deleted
+	stmts := 0
+	emit := func(s string) {
+		fmt.Fprintf(w, "%s;\n", s)
+		stmts++
+	}
+	emit(fmt.Sprintf("CREATE TABLE %s (id int, v float[])", table))
+
+	opi := 0
+	churnOp := func() {
+		if len(live) == 0 {
+			return
+		}
+		switch ops[opi] {
+		case 'd':
+			i := rng.Intn(len(live))
+			id := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			emit(fmt.Sprintf("DELETE FROM %s WHERE id = %d", table, id))
+		case 'u':
+			id := live[rng.Intn(len(live))]
+			v := append([]float32(nil), base.Row(id)...)
+			for i := range v {
+				v[i] += (rng.Float32() - 0.5) * 0.1
+			}
+			emit(fmt.Sprintf("UPDATE %s SET v = '%s' WHERE id = %d", table, vecLiteral(v), id))
+		}
+		opi++
+	}
+	for i := 0; i < n; i++ {
+		emit(fmt.Sprintf("INSERT INTO %s VALUES (%d, '%s')", table, i, vecLiteral(base.Row(i))))
+		live = append(live, i)
+		if i < warm {
+			continue
+		}
+		// Even distribution: by the time insert i lands, a proportional
+		// share of the churn schedule has been emitted.
+		for opi < len(ops) && opi*(n-warm) < (i-warm+1)*len(ops) {
+			churnOp()
+		}
+	}
+	for opi < len(ops) {
+		churnOp()
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return stmts, err
+	}
+	return stmts, f.Close()
+}
+
+// vecLiteral renders a vector in the dialect's '{...}' literal form.
+func vecLiteral(v []float32) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, x := range v {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatFloat(float64(x), 'g', -1, 32))
+	}
+	b.WriteByte('}')
+	return b.String()
 }
 
 func fatal(err error) {

@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"vecstudy/internal/analysis"
+	"vecstudy/internal/analysis/deadvisibility"
 	"vecstudy/internal/analysis/gohygiene"
 	"vecstudy/internal/analysis/load"
 	"vecstudy/internal/analysis/lockscope"
@@ -35,6 +36,7 @@ var analyzers = []*analysis.Analyzer{
 	lockscope.Analyzer,
 	sqlstate.Analyzer,
 	gohygiene.Analyzer,
+	deadvisibility.Analyzer,
 }
 
 func main() {

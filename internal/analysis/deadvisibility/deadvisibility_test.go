@@ -1,0 +1,22 @@
+package deadvisibility_test
+
+import (
+	"testing"
+
+	"vecstudy/internal/analysis/analysistest"
+	"vecstudy/internal/analysis/deadvisibility"
+)
+
+func TestDeadVisibilityInScope(t *testing.T) {
+	// The fixture must load under a scan-path import path for the
+	// analyzer to fire at all.
+	analysistest.RunPath(t, ".", deadvisibility.Analyzer, "scanpath",
+		"vecstudy/internal/pase/scanpathfixture")
+}
+
+func TestDeadVisibilityOutOfScope(t *testing.T) {
+	// Under a non-scan-path import path the same raw accessors are
+	// allowed: the fixture contains no want comments, so any diagnostic
+	// fails the test.
+	analysistest.Run(t, ".", deadvisibility.Analyzer, "offpath")
+}

@@ -1,0 +1,16 @@
+// Package offpath is the out-of-scope deadvisibility fixture: loaded
+// under an import path outside the scan-path trees, raw accessors are
+// allowed (loaders and tests own freshly built tables).
+package offpath
+
+import "vecstudy/internal/pg/heap"
+
+// rawGetAllowed is fine here: this package is not a scan path.
+func rawGetAllowed(tbl *heap.Table, tid heap.TID) error {
+	return tbl.Get(tid, func([]byte) error { return nil })
+}
+
+// rawGetVectorAllowed likewise.
+func rawGetVectorAllowed(tbl *heap.Table, tid heap.TID) ([]float32, error) {
+	return tbl.GetVector(tid, 0)
+}

@@ -1,0 +1,45 @@
+// Package scanpath is the deadvisibility fixture: loaded under an
+// in-scope import path, each function is one accessor shape the
+// analyzer must flag (// want) or must leave alone.
+package scanpath
+
+import "vecstudy/internal/pg/heap"
+
+// rawGet resolves an index hit through the raw accessor.
+func rawGet(tbl *heap.Table, tid heap.TID) (row []byte, err error) {
+	err = tbl.Get(tid, func(tup []byte) error { // want "raw heap.Table.Get on a scan path"
+		row = append(row, tup...)
+		return nil
+	})
+	return row, err
+}
+
+// rawGetVector fetches the vector column without a visibility check.
+func rawGetVector(tbl *heap.Table, tid heap.TID) ([]float32, error) {
+	return tbl.GetVector(tid, 1) // want "raw heap.Table.GetVector on a scan path"
+}
+
+// visibleGet is the sanctioned form: dead tuples report ok=false.
+func visibleGet(tbl *heap.Table, tid heap.TID) (row []byte, ok bool, err error) {
+	ok, err = tbl.GetVisible(tid, func(tup []byte) error {
+		row = append(row, tup...)
+		return nil
+	})
+	return row, ok, err
+}
+
+// visibleGetVector is the sanctioned vector form.
+func visibleGetVector(tbl *heap.Table, tid heap.TID) ([]float32, bool, error) {
+	return tbl.GetVectorVisible(tid, 1)
+}
+
+// suppressedSameLine reads dead tuples on purpose and says so.
+func suppressedSameLine(tbl *heap.Table, tid heap.TID) ([]float32, error) {
+	return tbl.GetVector(tid, 1) //vetvec:visibility-checked — repair pass must see tombstones
+}
+
+// suppressedLineAbove carries the directive on the preceding line.
+func suppressedLineAbove(tbl *heap.Table, tid heap.TID) error {
+	//vetvec:visibility-checked build-time pass over a freshly loaded table
+	return tbl.Get(tid, func([]byte) error { return nil })
+}

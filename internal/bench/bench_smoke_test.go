@@ -18,7 +18,7 @@ func TestRegistryCoversEveryFigureAndTable(t *testing.T) {
 		"tab3", "tab4", "tab5",
 		"ablation_io", "ablation_heap", "ablation_pqtab", "ablation_kmeans", "ablation_layout",
 		"qps", "qps_remote", "qps_cluster", "qps_batched",
-		"filtered",
+		"filtered", "churn",
 	}
 	for _, id := range want {
 		if _, err := Lookup(id); err != nil {
@@ -38,7 +38,9 @@ func TestLookupUnknown(t *testing.T) {
 
 // TestExperimentsRunAtSmokeScale executes a representative subset of the
 // drivers end to end. The heavy sweeps (fig9, fig18) and the full HNSW
-// builds are covered by the quick variants here plus the root benchmarks.
+// builds are covered by the quick variants here plus the root benchmarks;
+// churn runs as its own CI smoke step (its per-statement mutation loop
+// under -race would push this package past the test binary's timeout).
 func TestExperimentsRunAtSmokeScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping harness smoke in -short mode")

@@ -1,0 +1,302 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"vecstudy/internal/pg/db"
+	"vecstudy/internal/pg/sql"
+	"vecstudy/internal/vec"
+
+	_ "vecstudy/internal/pase/all"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "churn",
+		Title: "Dynamic data: recall and QPS through delete/update churn, tombstones, and VACUUM",
+		Paper: "index-heap consistency under churn is a relational obligation vector libraries skip; tombstone + vacuum keeps recall near a fresh rebuild",
+		Run:   runChurn,
+	})
+}
+
+// churn fractions: 20% of rows deleted + 10% updated = 30% churned.
+const (
+	churnDelFrac = 0.2
+	churnUpdFrac = 0.1
+)
+
+// churnAMs are the access methods swept; HNSW exercises graph repair,
+// IVF_FLAT exercises list compaction.
+var churnAMs = []string{"ivfflat", "hnsw"}
+
+// runChurn loads one dataset through the SQL layer, then for each AM
+// measures kNN recall and QPS at four phases: fresh, after churn
+// (tombstoned entries still in the index), after VACUUM (heap
+// compaction + index repair), and against a from-scratch rebuild on the
+// surviving rows. The last two rows' recall delta is the cost of
+// repairing in place instead of rebuilding.
+func runChurn(cfg *Config) error {
+	name := cfg.Datasets[0]
+	const k = 10
+	ds, err := cfg.Dataset(name, k)
+	if err != nil {
+		return err
+	}
+	n := ds.N()
+
+	// The churn plan is deterministic: delete/update targets and update
+	// noise come from a fixed-seed generator so runs are comparable.
+	rng := rand.New(rand.NewSource(7))
+	perm := rng.Perm(n)
+	nDel := int(churnDelFrac * float64(n))
+	nUpd := int(churnUpdFrac * float64(n))
+	delIDs := perm[:nDel]
+	updIDs := perm[nDel : nDel+nUpd]
+	live := make(map[int]bool, n)
+	cur := make([][]float32, n) // current vector per id (post-update)
+	for i := 0; i < n; i++ {
+		live[i] = true
+		cur[i] = ds.Base.Row(i)
+	}
+	updated := make([][]float32, len(updIDs))
+	for i, id := range updIDs {
+		v := append([]float32(nil), ds.Base.Row(id)...)
+		for j := range v {
+			v[j] += (rng.Float32() - 0.5) * 0.1
+		}
+		updated[i] = v
+	}
+
+	groundTruth := func(q int) map[int32]bool {
+		type cand struct {
+			id   int32
+			dist float32
+		}
+		var cands []cand
+		qv := ds.Queries.Row(q)
+		for i := 0; i < n; i++ {
+			if live[i] {
+				cands = append(cands, cand{int32(i), vec.L2SqrRef(qv, cur[i])})
+			}
+		}
+		sort.Slice(cands, func(a, b int) bool { return cands[a].dist < cands[b].dist })
+		if len(cands) > k {
+			cands = cands[:k]
+		}
+		gt := make(map[int32]bool, len(cands))
+		for _, c := range cands {
+			gt[c.id] = true
+		}
+		return gt
+	}
+
+	var b strings.Builder
+	vecLit := func(v []float32) string {
+		b.Reset()
+		b.WriteByte('{')
+		for j, x := range v {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.FormatFloat(float64(x), 'g', -1, 32))
+		}
+		b.WriteByte('}')
+		return b.String()
+	}
+	load := func(sess *sql.Session, table string, ids []int) error {
+		if _, err := sess.Execute(fmt.Sprintf("CREATE TABLE %s (id int, vec float[])", table)); err != nil {
+			return err
+		}
+		var sb strings.Builder
+		for lo := 0; lo < len(ids); lo += 200 {
+			hi := lo + 200
+			if hi > len(ids) {
+				hi = len(ids)
+			}
+			sb.Reset()
+			fmt.Fprintf(&sb, "INSERT INTO %s VALUES ", table)
+			for i := lo; i < hi; i++ {
+				if i > lo {
+					sb.WriteString(", ")
+				}
+				fmt.Fprintf(&sb, "(%d, '%s')", ids[i], vecLit(cur[ids[i]]))
+			}
+			if _, err := sess.Execute(sb.String()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	measure := func(sess *sql.Session, table string, gts []map[int32]bool) (time.Duration, float64, error) {
+		var hit, want int
+		start := time.Now()
+		for q := 0; q < ds.NQ(); q++ {
+			text := fmt.Sprintf("SELECT id FROM %s ORDER BY vec <-> '%s' LIMIT %d",
+				table, vecLit(ds.Queries.Row(q)), k)
+			res, err := sess.Execute(text)
+			if err != nil {
+				return 0, 0, err
+			}
+			want += len(gts[q])
+			for _, row := range res.Rows {
+				if gts[q][row[0].(int32)] {
+					hit++
+				}
+			}
+		}
+		elapsed := time.Since(start)
+		recall := 0.0
+		if want > 0 {
+			recall = float64(hit) / float64(want)
+		}
+		return elapsed, recall, nil
+	}
+
+	clusters := ds.NumClusters()
+	indexOpts := func(am string) string {
+		if am == "hnsw" {
+			return "WITH (bnn = 16, efb = 40, seed = 1)"
+		}
+		return fmt.Sprintf("WITH (clusters = %d, sample_ratio = 1, seed = 1)", clusters)
+	}
+	cfg.printf("dataset=%s n=%d del=%d upd=%d k=%d clusters=%d\n", name, n, nDel, nUpd, k, clusters)
+	cfg.printf("am        phase           avg_query   qps       recall@k\n")
+
+	for _, am := range churnAMs {
+		d, err := db.Open(db.Config{})
+		if err != nil {
+			return err
+		}
+		sess := sql.NewSession(d)
+
+		// Reset the churn bookkeeping for this AM's pass.
+		for i := 0; i < n; i++ {
+			live[i] = true
+			cur[i] = ds.Base.Row(i)
+		}
+		allIDs := make([]int, n)
+		for i := range allIDs {
+			allIDs[i] = i
+		}
+		if err := load(sess, "t", allIDs); err != nil {
+			d.Close()
+			return err
+		}
+		if _, err := sess.Execute(fmt.Sprintf("CREATE INDEX t_idx ON t USING %s (vec) %s", am, indexOpts(am))); err != nil {
+			d.Close()
+			return err
+		}
+		if am == "ivfflat" {
+			if err := sess.Set("nprobe", strconv.Itoa((clusters+1)/2)); err != nil {
+				d.Close()
+				return err
+			}
+		}
+
+		report := func(phase string) error {
+			gts := make([]map[int32]bool, ds.NQ())
+			for q := range gts {
+				gts[q] = groundTruth(q)
+			}
+			elapsed, recall, err := measure(sess, "t", gts)
+			if err != nil {
+				return err
+			}
+			avg := elapsed / time.Duration(ds.NQ())
+			cfg.printf("%-9s %-15s %-11v %-9.1f %.3f\n",
+				am, phase, avg.Round(time.Microsecond), float64(ds.NQ())/secs(elapsed), recall)
+			return nil
+		}
+		if err := report("fresh"); err != nil {
+			d.Close()
+			return err
+		}
+
+		// Churn: interleave deletes and updates through the SQL layer.
+		for i, id := range delIDs {
+			if _, err := sess.Execute(fmt.Sprintf("DELETE FROM t WHERE id = %d", id)); err != nil {
+				d.Close()
+				return err
+			}
+			live[id] = false
+			if i%2 == 0 && i/2 < len(updIDs) {
+				uid := updIDs[i/2]
+				if _, err := sess.Execute(fmt.Sprintf("UPDATE t SET vec = '%s' WHERE id = %d", vecLit(updated[i/2]), uid)); err != nil {
+					d.Close()
+					return err
+				}
+				cur[uid] = updated[i/2]
+			}
+		}
+		for i := (len(delIDs) + 1) / 2; i < len(updIDs); i++ {
+			if _, err := sess.Execute(fmt.Sprintf("UPDATE t SET vec = '%s' WHERE id = %d", vecLit(updated[i]), updIDs[i])); err != nil {
+				d.Close()
+				return err
+			}
+			cur[updIDs[i]] = updated[i]
+		}
+		if err := report("churned"); err != nil {
+			d.Close()
+			return err
+		}
+
+		if _, err := sess.Execute("VACUUM t"); err != nil {
+			d.Close()
+			return err
+		}
+		var vacRecall float64
+		{
+			gts := make([]map[int32]bool, ds.NQ())
+			for q := range gts {
+				gts[q] = groundTruth(q)
+			}
+			elapsed, recall, err := measure(sess, "t", gts)
+			if err != nil {
+				d.Close()
+				return err
+			}
+			vacRecall = recall
+			avg := elapsed / time.Duration(ds.NQ())
+			cfg.printf("%-9s %-15s %-11v %-9.1f %.3f\n",
+				am, "vacuumed", avg.Round(time.Microsecond), float64(ds.NQ())/secs(elapsed), recall)
+		}
+
+		// Fresh rebuild on the surviving rows, same options: the recall
+		// parity target for in-place repair.
+		var liveIDs []int
+		for i := 0; i < n; i++ {
+			if live[i] {
+				liveIDs = append(liveIDs, i)
+			}
+		}
+		if err := load(sess, "t2", liveIDs); err != nil {
+			d.Close()
+			return err
+		}
+		if _, err := sess.Execute(fmt.Sprintf("CREATE INDEX t2_idx ON t2 USING %s (vec) %s", am, indexOpts(am))); err != nil {
+			d.Close()
+			return err
+		}
+		{
+			gts := make([]map[int32]bool, ds.NQ())
+			for q := range gts {
+				gts[q] = groundTruth(q)
+			}
+			elapsed, recall, err := measure(sess, "t2", gts)
+			if err != nil {
+				d.Close()
+				return err
+			}
+			avg := elapsed / time.Duration(ds.NQ())
+			cfg.printf("%-9s %-15s %-11v %-9.1f %.3f   (vacuum-rebuild delta %+.4f)\n",
+				am, "rebuilt", avg.Round(time.Microsecond), float64(ds.NQ())/secs(elapsed), recall, vacRecall-recall)
+		}
+		d.Close()
+	}
+	return nil
+}

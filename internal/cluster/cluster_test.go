@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -597,5 +598,134 @@ func TestBatchKnobReplay(t *testing.T) {
 	}
 	if !probed {
 		t.Error("no shard coalescer flushed a probe; batch_window replay did not reach the shards")
+	}
+}
+
+// TestClusterDynamicParity broadcasts DELETE/UPDATE/VACUUM through the
+// router at 2 and 4 shards and demands (a) mutation counts sum across
+// shards, (b) post-churn kNN answers match a single-node database that
+// applied the identical statements, and (c) deleted rows are invisible
+// through the scatter-gather path.
+func TestClusterDynamicParity(t *testing.T) {
+	const n, k = 120, 10
+	churn := []string{
+		"DELETE FROM t WHERE id < 30",
+		"UPDATE t SET vec = '{-4, -4, 0, 0}' WHERE id = 100",
+		"DELETE FROM t WHERE id = 57",
+	}
+	queries := []string{
+		"SELECT id FROM t ORDER BY vec <-> '{0, 0, 0, 0}' LIMIT %d",
+		"SELECT id FROM t ORDER BY vec <-> '{-4.1, -4.1, 0, 0}' LIMIT %d",
+		"SELECT id FROM t ORDER BY vec <-> '{57, 57, 0, 0}' LIMIT %d",
+	}
+
+	// Single-node reference applying the same load and churn.
+	ref, err := db.Open(db.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ref.Close() })
+	refSess := sql.NewSession(ref)
+	loadLine(t, refSess, n)
+	mustExec(t, refSess, "SET nprobe = 8")
+	for _, q := range churn {
+		mustExec(t, refSess, q)
+	}
+	var want [][]int32
+	for _, q := range queries {
+		want = append(want, ids(t, mustExec(t, refSess, fmt.Sprintf(q, k))))
+	}
+
+	for _, shards := range []int{2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			reps := make([]int, shards)
+			for i := range reps {
+				reps[i] = 1
+			}
+			h := newHarness(t, reps...)
+			r := h.router(Config{HealthInterval: -1})
+			sess := r.NewSession()
+			loadLine(t, sess, n)
+			mustExec(t, sess, "SET nprobe = 8")
+
+			// Broadcast counts must sum to the global row counts.
+			if res := mustExec(t, sess, churn[0]); res.Msg != "DELETE 30" {
+				t.Errorf("broadcast delete msg = %q, want \"DELETE 30\"", res.Msg)
+			}
+			if res := mustExec(t, sess, churn[1]); res.Msg != "UPDATE 1" {
+				t.Errorf("broadcast update msg = %q, want \"UPDATE 1\"", res.Msg)
+			}
+			if res := mustExec(t, sess, churn[2]); res.Msg != "DELETE 1" {
+				t.Errorf("broadcast delete msg = %q, want \"DELETE 1\"", res.Msg)
+			}
+
+			check := func(stage string) {
+				t.Helper()
+				for i, q := range queries {
+					got := ids(t, mustExec(t, sess, fmt.Sprintf(q, k)))
+					// Set comparison: equidistant rows may tie-break
+					// differently in the scatter-gather merge.
+					gotSet := append([]int32(nil), got...)
+					wantSet := append([]int32(nil), want[i]...)
+					sort.Slice(gotSet, func(a, b int) bool { return gotSet[a] < gotSet[b] })
+					sort.Slice(wantSet, func(a, b int) bool { return wantSet[a] < wantSet[b] })
+					if fmt.Sprint(gotSet) != fmt.Sprint(wantSet) {
+						t.Fatalf("%s q%d: got %v, want %v", stage, i, got, want[i])
+					}
+					for _, id := range got {
+						if id < 30 || id == 57 {
+							t.Fatalf("%s q%d: deleted id %d visible", stage, i, id)
+						}
+					}
+				}
+				// Global count excludes the 31 deleted rows.
+				if res := mustExec(t, sess, "SELECT count(*) FROM t"); res.Rows[0][0].(int64) != n-31 {
+					t.Fatalf("%s count(*) = %v, want %d", stage, res.Rows[0][0], n-31)
+				}
+			}
+			check("churned")
+
+			// VACUUM broadcasts to every shard; answers are unchanged.
+			mustExec(t, sess, "VACUUM t")
+			check("vacuumed")
+		})
+	}
+}
+
+// TestClusterDeleteReachesAllReplicas checks mutation replication: with
+// 2 replicas on one shard, a broadcast DELETE must land on both, so a
+// failover to the second replica never resurrects the row.
+func TestClusterDeleteReachesAllReplicas(t *testing.T) {
+	h := newHarness(t, 2) // one shard, two replicas
+	r := h.router(Config{HealthInterval: -1, ShardDeadline: 3 * time.Second})
+	sess := r.NewSession()
+	loadLine(t, sess, 40)
+	mustExec(t, sess, "DELETE FROM t WHERE id < 10")
+
+	for rep := 0; rep < 2; rep++ {
+		c, err := client.Dial(h.m.Shards[0][rep])
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Execute("SELECT count(*) FROM t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.Rows[0][0].(int64); got != 30 {
+			t.Errorf("replica %d holds %d rows after broadcast delete, want 30", rep, got)
+		}
+		c.Close()
+	}
+
+	// Kill the primary: the failover replica must agree the rows are gone.
+	h.kill(0, 0)
+	res := mustExec(t, sess, "SELECT id FROM t ORDER BY vec <-> '{0, 0, 0, 0}' LIMIT 5")
+	for _, id := range ids(t, res) {
+		if id < 10 {
+			t.Errorf("failover replica returned deleted id %d", id)
+		}
+	}
+	if st := r.Stats(); st.Failovers == 0 {
+		t.Errorf("expected a failover after kill: %+v", st)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -222,6 +223,15 @@ func (s *Session) execute(text string) (*sql.Result, error) {
 		return s.broadcastAll(text)
 	case *sql.InsertStmt:
 		return s.routeInsert(st)
+	case *sql.DeleteStmt:
+		// Broadcast verbatim: each shard's WHERE matches only the rows it
+		// owns, so the union of per-shard deletes is exactly the global
+		// delete. Counts are summed across shards.
+		return s.broadcastMutation(text, "DELETE")
+	case *sql.UpdateStmt:
+		return s.broadcastMutation(text, "UPDATE")
+	case *sql.VacuumStmt:
+		return s.broadcastAll(text)
 	case *sql.SelectStmt:
 		if st.OrderCol != "" && !st.CountStar {
 			return s.scatterKNN(st)
@@ -436,6 +446,40 @@ func (s *Session) broadcastAll(text string) (*sql.Result, error) {
 		}
 	}
 	return &sql.Result{Cols: results[0].Cols, Rows: results[0].Rows, Msg: results[0].Msg}, nil
+}
+
+// broadcastMutation sends a DELETE or UPDATE to every replica of every
+// shard and sums the per-shard row counts into one "VERB n" tag (each
+// shard reports only the rows it owns, so the sum is the global count).
+func (s *Session) broadcastMutation(text, verb string) (*sql.Result, error) {
+	S := len(s.r.shards)
+	results := make([]*wire.Result, S)
+	errs := make([]error, S)
+	var wg sync.WaitGroup
+	for sh := 0; sh < S; sh++ {
+		wg.Add(1)
+		go func(sh int) {
+			defer wg.Done()
+			results[sh], errs[sh] = s.broadcastShard(sh, text)
+		}(sh)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var total int64
+	for _, res := range results {
+		fields := strings.Fields(res.Msg)
+		if len(fields) == 0 {
+			continue
+		}
+		if n, err := strconv.ParseInt(fields[len(fields)-1], 10, 64); err == nil {
+			total += n
+		}
+	}
+	return &sql.Result{Msg: fmt.Sprintf("%s %d", verb, total)}, nil
 }
 
 // routeInsert splits an INSERT's rows by placement — the first numeric

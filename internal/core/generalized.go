@@ -162,20 +162,21 @@ func (gi *GeneralizedIndex) Engine() Engine { return gi.engine }
 func (gi *GeneralizedIndex) Kind() IndexKind { return gi.kind }
 
 // Search implements Index: index scan, then one heap tuple fetch per
-// result to project the id column.
+// result to project the id column. A hit whose tuple has been deleted
+// since the index was built is skipped, not resurrected.
 func (gi *GeneralizedIndex) Search(query []float32, k int) ([]int64, error) {
 	hits, err := gi.idx.Search(query, k, gi.scan)
 	if err != nil {
 		return nil, err
 	}
-	ids := make([]int64, len(hits))
-	for i, h := range hits {
-		err := gi.table.Get(h.TID, func(tup []byte) error {
+	ids := make([]int64, 0, len(hits))
+	for _, h := range hits {
+		_, err := gi.table.GetVisible(h.TID, func(tup []byte) error {
 			vals, err := gi.table.Schema().Decode(tup)
 			if err != nil {
 				return err
 			}
-			ids[i] = int64(vals[0].(int32))
+			ids = append(ids, int64(vals[0].(int32)))
 			return nil
 		})
 		if err != nil {

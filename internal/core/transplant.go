@@ -40,6 +40,7 @@ func BuildFaissStar(gen *GeneralizedIndex, ds *dataset.Dataset, p Params) (*Spec
 	tbl := gen.Table()
 	for tid, cluster := range tidAssign {
 		var rowID int64
+		//vetvec:visibility-checked — build-time pass over a freshly loaded, churn-free table
 		err := tbl.Get(tid, func(tup []byte) error {
 			vals, err := tbl.Schema().Decode(tup)
 			if err != nil {

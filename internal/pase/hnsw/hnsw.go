@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vecstudy/internal/minheap"
@@ -32,10 +33,20 @@ type Index struct {
 	ctx  *am.BuildContext
 	meta meta
 
-	mu        sync.Mutex // serializes inserts and meta updates
+	mu        sync.Mutex // serializes inserts, deletes, Maintain, and meta updates
 	levelMult float64
 	rng       *rand.Rand
 	stats     BuildStats
+
+	// tids maps each live vertex's heap TID to its graph location —
+	// HNSW has no deterministic vector→vertex mapping (unlike IVF's
+	// coarse assignment), so Delete needs the reverse map. tombs holds
+	// tombstoned vertices (by VID key) until Maintain unlinks them.
+	// Both are guarded by mu; search paths never read them — the
+	// on-page tombstone byte is the single source of truth there.
+	tids  map[heap.TID]VID
+	tombs map[uint64]VID
+	dead  atomic.Int64 // tombstoned vertices awaiting Maintain
 }
 
 // AM implements am.Index.
@@ -75,6 +86,8 @@ func Build(ctx *am.BuildContext) (am.Index, error) {
 		ctx:       ctx,
 		levelMult: 1 / math.Log(float64(bnn)),
 		rng:       rand.New(rand.NewSource(int64(seed))),
+		tids:      make(map[heap.TID]VID),
+		tombs:     make(map[uint64]VID),
 	}
 	ix.meta = meta{
 		Dim: uint32(ctx.Dim), BNN: uint32(bnn), EFB: uint32(efb),
@@ -182,6 +195,7 @@ func (ix *Index) insertLocked(v []float32, tid heap.TID) error {
 		return err
 	}
 	self := VID{NbBlk: nbBlk, DataBlk: dataBlk, DataOff: dataOff, NbOff: nbOff}
+	ix.tids[tid] = self
 	ix.meta.NVertices++
 
 	if !ix.meta.Entry.Valid() {
@@ -673,11 +687,17 @@ func (ix *Index) searchLayer(query []float32, ep VID, epDist float32, ef int, le
 	results := minheap.NewTopK(ef)
 	byID := make(map[int64]VID, 4*ef)
 	push := func(v VID, d float32) error {
+		tid, _, dead, err := ix.entryState(v)
+		if err != nil {
+			return err
+		}
+		if dead {
+			// Tombstoned vertex: traversal still routes through it (its
+			// edges keep the graph connected until Maintain repairs the
+			// neighborhood), but it never surfaces as a result.
+			return nil
+		}
 		if pred != nil {
-			tid, err := ix.tidOf(v)
-			if err != nil {
-				return err
-			}
 			ok, err := pred(tid)
 			if err != nil {
 				return err

@@ -98,6 +98,9 @@ func encodeDataEntry(b []byte, tid heap.TID, nbBlk uint32, nbOff, level uint16, 
 	pase.PutFloat32s(b[dataEntryHeaderSize:], v)
 }
 
+// decodeDataLevel reads just the level field of a data entry.
+func decodeDataLevel(b []byte) uint16 { return binary.LittleEndian.Uint16(b[12:]) }
+
 func decodeDataEntry(b []byte) (tid heap.TID, nbBlk uint32, nbOff, level uint16, vecBytes []byte) {
 	tid = heap.UnpackTID(b)
 	nbBlk = binary.LittleEndian.Uint32(b[8:])

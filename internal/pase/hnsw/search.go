@@ -28,7 +28,9 @@ func (ix *Index) SearchFiltered(query []float32, k int, params map[string]string
 		return nil, errors.New("pase/hnsw: k must be positive")
 	}
 	if !ix.meta.Entry.Valid() {
-		return nil, errors.New("pase/hnsw: empty index")
+		// Either never populated, or every vertex was deleted and
+		// Maintain unlinked the entry point: zero rows, not an error.
+		return nil, nil
 	}
 	efs, err := pase.OptInt(params, "efs", 200)
 	if err != nil {

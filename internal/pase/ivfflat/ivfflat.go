@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vecstudy/internal/kmeans"
@@ -80,7 +81,9 @@ type Index struct {
 	// indirection penalty the way HNSW does).
 	centroidCache []float32
 
-	mu sync.Mutex // serializes inserts
+	mu sync.Mutex // serializes inserts and deletes
+
+	dead atomic.Int64 // tombstoned entries awaiting Maintain
 
 	stats BuildStats
 }
@@ -474,6 +477,9 @@ func (ix *Index) Assignments() (map[heap.TID]int32, error) {
 			for i := uint16(1); i <= pg.NumItems(); i++ {
 				item, err := pg.Item(i)
 				if err != nil {
+					if errors.Is(err, page.ErrDeadItem) {
+						continue
+					}
 					dbuf.Release()
 					return nil, err
 				}

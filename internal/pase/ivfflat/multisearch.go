@@ -12,6 +12,7 @@ import (
 	"vecstudy/internal/pg/am"
 	"vecstudy/internal/pg/buffer"
 	"vecstudy/internal/pg/heap"
+	"vecstudy/internal/pg/page"
 )
 
 // MultiSearch implements am.BatchIndex: a batch of queries executes as
@@ -280,6 +281,9 @@ func (ix *Index) scanBucketPinned(cid int32, sc *bucketScanScratch, visit func(t
 		for i := uint16(1); i <= n; i++ {
 			item, err := pg.Item(i)
 			if err != nil {
+				if errors.Is(err, page.ErrDeadItem) {
+					continue // tombstoned entry, identical to the solo skip
+				}
 				tTuple.Stop(ts)
 				release()
 				return err

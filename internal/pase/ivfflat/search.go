@@ -9,6 +9,7 @@ import (
 	"vecstudy/internal/pase"
 	"vecstudy/internal/pg/am"
 	"vecstudy/internal/pg/heap"
+	"vecstudy/internal/pg/page"
 	"vecstudy/internal/vec"
 )
 
@@ -232,6 +233,9 @@ func (ix *Index) scanBucketRaw(cid int32, emit func(heap.TID, []float32)) error 
 			item, err := pg.Item(i)
 			if err != nil {
 				tTuple.Stop(ts)
+				if errors.Is(err, page.ErrDeadItem) {
+					continue // tombstoned entry: skip, reclaimed by Maintain
+				}
 				dbuf.Release()
 				return err
 			}

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vecstudy/internal/kmeans"
@@ -84,6 +85,7 @@ type Index struct {
 	centroidCache []float32
 	quant         *pq.Quantizer
 	mu            sync.Mutex
+	dead          atomic.Int64 // tombstoned entries awaiting Maintain
 	stats         BuildStats
 }
 
@@ -634,6 +636,9 @@ func (ix *Index) scanCodes(cid int32, emit func(heap.TID, []byte)) error {
 			item, err := pg.Item(i)
 			if err != nil {
 				tTuple.Stop(tsT)
+				if errors.Is(err, page.ErrDeadItem) {
+					continue // tombstoned code: skip, reclaimed by Maintain
+				}
 				dbuf.Release()
 				return err
 			}

@@ -88,6 +88,29 @@ type BatchIndex interface {
 	MultiSearch(queries [][]float32, ks []int, params map[string]string, preds []Predicate) ([][]Result, error)
 }
 
+// MutableIndex is the optional extension an access method implements
+// when it supports tombstone deletion and background maintenance — the
+// index side of the dynamic-data subsystem. The standard VDBMS design
+// (see the survey in PAPERS.md) is reproduced here: Delete marks the
+// entry dead synchronously (search must stop returning it immediately),
+// and Maintain later reclaims the tombstones — compacting IVF bucket
+// chains, or repairing the HNSW graph around dead nodes and unlinking
+// them.
+type MutableIndex interface {
+	Index
+	// Delete tombstones the entry for (v, tid). v is the indexed vector
+	// the entry was inserted with; bucketed AMs re-derive the owning
+	// bucket from it deterministically. Deleting an entry the index does
+	// not hold is a no-op (false, nil).
+	Delete(v []float32, tid heap.TID) (bool, error)
+	// DeadCount reports tombstoned entries not yet reclaimed by Maintain.
+	DeadCount() int64
+	// Maintain reclaims tombstones (IVF list compaction, HNSW repair) and
+	// returns how many entries it removed. The caller must hold the
+	// engine's statement gate exclusively.
+	Maintain() (int64, error)
+}
+
 // BuildFunc constructs an index over the table's current contents.
 type BuildFunc func(ctx *BuildContext) (Index, error)
 

@@ -11,6 +11,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"vecstudy/internal/pg/am"
 	"vecstudy/internal/pg/buffer"
@@ -58,6 +59,18 @@ type DB struct {
 	stores  map[buffer.RelID]storage.PageStore
 	tables  map[string]*heap.Table
 	indexes map[string]am.Index
+
+	// gate is the statement-level lock: SELECT and INSERT take it shared
+	// (heap and index structures handle their own fine-grained locking),
+	// DELETE/UPDATE/VACUUM take it exclusive so visibility flips and
+	// structure rewrites never interleave with concurrent scans.
+	gate sync.RWMutex
+
+	nDeleted      atomic.Int64
+	nUpdated      atomic.Int64
+	nVacuums      atomic.Int64
+	nDeadReclaim  atomic.Int64
+	nIndexRepairs atomic.Int64
 }
 
 // Open creates (or reopens, for file-backed dirs with a saved catalog) a
@@ -221,6 +234,119 @@ func (d *DB) Insert(table string, values []any) (heap.TID, error) {
 		}
 	}
 	return tid, nil
+}
+
+// StmtGate exposes the statement-level lock. The SQL executor (and the
+// batch coalescer's group runner) takes it shared around reads and
+// inserts and exclusive around DELETE/UPDATE/VACUUM.
+func (d *DB) StmtGate() *sync.RWMutex { return &d.gate }
+
+// MutationStats is a snapshot of the dynamic-data counters, surfaced by
+// SHOW server_stats.
+type MutationStats struct {
+	TuplesDeleted int64
+	TuplesUpdated int64
+	VacuumRuns    int64
+	DeadReclaimed int64 // dead entries removed across heap + indexes
+	IndexRepairs  int64 // per-index Maintain passes that removed entries
+}
+
+// Mutations snapshots the dynamic-data counters.
+func (d *DB) Mutations() MutationStats {
+	return MutationStats{
+		TuplesDeleted: d.nDeleted.Load(),
+		TuplesUpdated: d.nUpdated.Load(),
+		VacuumRuns:    d.nVacuums.Load(),
+		DeadReclaimed: d.nDeadReclaim.Load(),
+		IndexRepairs:  d.nIndexRepairs.Load(),
+	}
+}
+
+// indexedVectors reads the still-visible tuple's vector for every index
+// on the table, keyed by index name. Index deletion needs the vector:
+// IVF re-derives the owning bucket from it.
+func (d *DB) indexedVectors(table string, tbl *heap.Table, tid heap.TID) (map[string][]float32, bool, error) {
+	ims := d.cat.IndexesOn(table)
+	if len(ims) == 0 {
+		return nil, true, nil
+	}
+	vecs := make(map[string][]float32, len(ims))
+	ok, err := tbl.GetVisible(tid, func(tup []byte) error {
+		for _, im := range ims {
+			col := tbl.Schema().ColIndex(im.Column)
+			v, err := tbl.Schema().VectorAt(tup, col)
+			if err != nil {
+				return err
+			}
+			vecs[im.Name] = append([]float32(nil), v...)
+		}
+		return nil
+	})
+	return vecs, ok, err
+}
+
+// Delete removes one row: the heap tuple's line pointer is marked dead
+// and every mutable index on the table tombstones its entry. Deleting an
+// already-dead or unknown TID is a no-op returning false. Callers must
+// hold the statement gate exclusively.
+func (d *DB) Delete(table string, tid heap.TID) (bool, error) {
+	tbl, err := d.Table(table)
+	if err != nil {
+		return false, err
+	}
+	vecs, visible, err := d.indexedVectors(table, tbl, tid)
+	if err != nil {
+		return false, err
+	}
+	if !visible {
+		return false, nil
+	}
+	ok, err := tbl.Delete(tid)
+	if err != nil || !ok {
+		return false, err
+	}
+	for _, im := range d.cat.IndexesOn(table) {
+		d.mu.Lock()
+		idx, open := d.indexes[im.Name]
+		d.mu.Unlock()
+		if !open {
+			continue
+		}
+		mi, mutable := idx.(am.MutableIndex)
+		if !mutable {
+			continue
+		}
+		if _, err := mi.Delete(vecs[im.Name], tid); err != nil {
+			return true, err
+		}
+	}
+	d.nDeleted.Add(1)
+	return true, nil
+}
+
+// Update replaces one row: delete-old + insert-new, PostgreSQL's
+// non-HOT update path — the TID changes and indexes see a tombstone plus
+// a fresh entry. Returns the new TID; ok is false when the old tuple was
+// already gone. Callers must hold the statement gate exclusively.
+func (d *DB) Update(table string, tid heap.TID, values []any) (heap.TID, bool, error) {
+	ok, err := d.Delete(table, tid)
+	if err != nil || !ok {
+		return heap.TID{}, false, err
+	}
+	newTID, err := d.Insert(table, values)
+	if err != nil {
+		return heap.TID{}, false, err
+	}
+	d.nUpdated.Add(1)
+	d.nDeleted.Add(-1) // counted as an update, not a delete
+	return newTID, true, nil
+}
+
+// NoteVacuum records a completed vacuum pass in the stats counters.
+func (d *DB) NoteVacuum(deadReclaimed, indexRepairs int64) {
+	d.nVacuums.Add(1)
+	d.nDeadReclaim.Add(deadReclaimed)
+	d.nIndexRepairs.Add(indexRepairs)
 }
 
 // CreateIndex builds an index over an existing table column using the

@@ -281,6 +281,7 @@ type Table struct {
 	lastBlk uint32 // insertion target hint
 	hasBlk  bool
 	ntuples int64
+	ndead   int64 // dead line pointers awaiting vacuum
 
 	sample sampler // reservoir of raw tuples for selectivity estimation
 
@@ -317,6 +318,37 @@ func (s *sampler) add(tup []byte) {
 	if j := s.rng.Int63n(s.seen); j < int64(len(s.rows)) {
 		s.rows[j] = append(s.rows[j][:0], tup...)
 	}
+}
+
+// drop down-weights the reservoir after a delete: the first byte-equal
+// row (if sampled) is evicted and the population count shrinks, so the
+// sample keeps tracking the live tuple distribution instead of drifting
+// toward deleted data. A full rebuild (vacuum) restores exact uniformity.
+func (s *sampler) drop(tup []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seen > 0 {
+		s.seen--
+	}
+	for i, r := range s.rows {
+		if string(r) == string(tup) {
+			last := len(s.rows) - 1
+			s.rows[i] = s.rows[last]
+			s.rows[last] = nil
+			s.rows = s.rows[:last]
+			return
+		}
+	}
+}
+
+// reset empties the reservoir (rebuild begins from a fresh, reproducible
+// stream: same fixed seed as first construction).
+func (s *sampler) reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rng = rand.New(rand.NewSource(1))
+	s.rows = s.rows[:0]
+	s.seen = 0
 }
 
 // Sample returns up to SampleCap rows decoded from the table's uniform
@@ -358,6 +390,21 @@ func New(pool *buffer.Pool, rel buffer.RelID, schema Schema) (*Table, error) {
 		}); err != nil {
 			return nil, err
 		}
+		// Restore the dead-tuple count too, so DeadFraction (the
+		// auto-vacuum trigger) survives a reopen.
+		for blk := uint32(0); blk < nblocks; blk++ {
+			buf, err := pool.Pin(rel, blk)
+			if err != nil {
+				return nil, err
+			}
+			pg := buf.Page()
+			for off := uint16(1); off <= pg.NumItems(); off++ {
+				if pg.ItemIsDead(off) && pg.DeadSpace(off) > 0 {
+					t.ndead++
+				}
+			}
+			buf.Release()
+		}
 	}
 	return t, nil
 }
@@ -373,6 +420,25 @@ func (t *Table) NTuples() int64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.ntuples
+}
+
+// NDead returns the number of dead tuples not yet reclaimed by vacuum.
+func (t *Table) NDead() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ndead
+}
+
+// DeadFraction returns the fraction of the table's tuples that are dead
+// — the auto-vacuum trigger metric. An empty table reports 0.
+func (t *Table) DeadFraction() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	total := t.ntuples + t.ndead
+	if total == 0 {
+		return 0
+	}
+	return float64(t.ndead) / float64(total)
 }
 
 // SetWAL enables logical WAL logging of inserts.
@@ -448,7 +514,9 @@ func (t *Table) logInsert(tup []byte) error {
 }
 
 // Get pins the tuple's page and invokes fn with the raw tuple bytes. The
-// slice is only valid inside fn.
+// slice is only valid inside fn. A dead tuple is an error here; search
+// and executor paths that may race a DELETE must use GetVisible (the
+// visibility check helper the vetvec deadvisibility rule enforces).
 func (t *Table) Get(tid TID, fn func(tup []byte) error) error {
 	ts := t.prof.Timer("tuple_access").Start()
 	buf, err := t.pool.Pin(t.rel, tid.Blk)
@@ -476,6 +544,51 @@ func (t *Table) GetVector(tid TID, col int) ([]float32, error) {
 		return err
 	})
 	return v, err
+}
+
+// GetVisible is the visibility-checked tuple access: it pins the tuple's
+// page, checks the dead bit, and invokes fn only on a live tuple. The
+// bool reports visibility — (false, nil) means the tuple is dead, which
+// read paths must treat as "skip", never as an error. This is the only
+// sanctioned way for AM and executor scan paths to read heap bytes by
+// TID (enforced by vetvec's deadvisibility analyzer).
+func (t *Table) GetVisible(tid TID, fn func(tup []byte) error) (bool, error) {
+	err := t.Get(tid, fn)
+	if errors.Is(err, page.ErrDeadItem) {
+		return false, nil
+	}
+	return err == nil, err
+}
+
+// GetVectorVisible resolves a Float4Array column under the visibility
+// check: a dead tuple reports (nil, false, nil).
+func (t *Table) GetVectorVisible(tid TID, col int) ([]float32, bool, error) {
+	var v []float32
+	ok, err := t.GetVisible(tid, func(tup []byte) error {
+		var err error
+		v, err = t.schema.VectorAt(tup, col)
+		return err
+	})
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	return v, true, nil
+}
+
+// Visible reports whether the tuple at tid is live. Unlike GetVisible it
+// does not decode anything — predicate paths use it to drop dead TIDs
+// cheaply.
+func (t *Table) Visible(tid TID) (bool, error) {
+	buf, err := t.pool.Pin(t.rel, tid.Blk)
+	if err != nil {
+		return false, err
+	}
+	defer buf.Release()
+	pg := buf.Page()
+	if tid.Off == 0 || tid.Off > pg.NumItems() {
+		return false, fmt.Errorf("heap: %v: offset out of range", tid)
+	}
+	return !pg.ItemIsDead(tid.Off), nil
 }
 
 // Scan iterates all live tuples in TID order. fn returns false to stop.
@@ -515,19 +628,97 @@ func (t *Table) Scan(fn func(tid TID, tup []byte) (bool, error)) error {
 	return nil
 }
 
-// Delete marks the tuple at tid dead.
-func (t *Table) Delete(tid TID) error {
+// Delete marks the tuple at tid dead and down-weights the planner's
+// reservoir sample so selectivity estimates keep tracking live data.
+// Deleting an already-dead tuple is a no-op (false, nil) so concurrent
+// or replayed deletes stay idempotent.
+func (t *Table) Delete(tid TID) (bool, error) {
 	buf, err := t.pool.Pin(t.rel, tid.Blk)
 	if err != nil {
-		return err
+		return false, err
 	}
-	err = buf.Page().DeleteItem(tid.Off)
-	if err == nil {
-		buf.MarkDirty()
-		t.mu.Lock()
-		t.ntuples--
-		t.mu.Unlock()
+	pg := buf.Page()
+	item, err := pg.Item(tid.Off)
+	if err != nil {
+		buf.Release()
+		if errors.Is(err, page.ErrDeadItem) {
+			return false, nil
+		}
+		return false, fmt.Errorf("heap: delete %v: %w", tid, err)
 	}
+	tup := append([]byte(nil), item...)
+	if err := pg.DeleteItem(tid.Off); err != nil {
+		buf.Release()
+		return false, err
+	}
+	buf.MarkDirty()
 	buf.Release()
-	return err
+	t.mu.Lock()
+	t.ntuples--
+	t.ndead++
+	t.mu.Unlock()
+	t.sample.drop(tup)
+	return true, nil
+}
+
+// RebuildSample discards the reservoir and repopulates it from a full
+// scan of the live tuples, restoring exact uniformity after churn.
+func (t *Table) RebuildSample() error {
+	t.sample.reset()
+	return t.Scan(func(_ TID, tup []byte) (bool, error) {
+		t.sample.add(tup)
+		return true, nil
+	})
+}
+
+// VacuumStats reports what one heap vacuum pass reclaimed.
+type VacuumStats struct {
+	DeadReclaimed  int64 // dead tuples whose space was freed
+	BytesFreed     int64 // page bytes returned to free space
+	PagesCompacted int64
+}
+
+// Vacuum reclaims the space of dead tuples page by page (page.Compact)
+// and rebuilds the reservoir sample. Dead line pointers stay dead —
+// TIDs are never reused, so a stale index entry can only ever resolve
+// to "invisible", never to the wrong row. The caller must hold the
+// engine's statement gate exclusively: Vacuum rewrites page internals
+// that concurrent readers alias.
+func (t *Table) Vacuum() (VacuumStats, error) {
+	var st VacuumStats
+	nblocks, err := t.pool.NumBlocks(t.rel)
+	if err != nil {
+		return st, err
+	}
+	for blk := uint32(0); blk < nblocks; blk++ {
+		buf, err := t.pool.Pin(t.rel, blk)
+		if err != nil {
+			return st, err
+		}
+		pg := buf.Page()
+		if !pg.IsInit() {
+			buf.Release()
+			continue
+		}
+		dead := int64(0)
+		for off := uint16(1); off <= pg.NumItems(); off++ {
+			if pg.ItemIsDead(off) && pg.DeadSpace(off) > 0 {
+				dead++
+			}
+		}
+		if dead > 0 {
+			st.BytesFreed += int64(pg.Compact())
+			st.DeadReclaimed += dead
+			st.PagesCompacted++
+			buf.MarkDirty()
+		}
+		buf.Release()
+	}
+	if err := t.RebuildSample(); err != nil {
+		return st, err
+	}
+	t.mu.Lock()
+	t.ndead = 0
+	t.mu.Unlock()
+	return st, nil
 }

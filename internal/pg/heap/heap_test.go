@@ -182,8 +182,8 @@ func TestDeleteHidesTuple(t *testing.T) {
 	tbl := newTable(t)
 	tidA, _ := tbl.Insert(sampleRow(1))
 	tbl.Insert(sampleRow(2))
-	if err := tbl.Delete(tidA); err != nil {
-		t.Fatal(err)
+	if ok, err := tbl.Delete(tidA); err != nil || !ok {
+		t.Fatalf("Delete = (%v, %v)", ok, err)
 	}
 	if tbl.NTuples() != 1 {
 		t.Errorf("NTuples after delete = %d", tbl.NTuples())
@@ -229,5 +229,170 @@ func TestReopenRestoresCount(t *testing.T) {
 	}
 	if tbl2.NTuples() != 20 {
 		t.Errorf("reopened NTuples = %d", tbl2.NTuples())
+	}
+}
+
+func TestVacuumReclaimsDeadTuples(t *testing.T) {
+	tbl := newTable(t)
+	var tids []TID
+	for i := 0; i < 50; i++ {
+		tid, err := tbl.Insert(sampleRow(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tids = append(tids, tid)
+	}
+	for i := 0; i < 50; i += 2 {
+		if ok, err := tbl.Delete(tids[i]); err != nil || !ok {
+			t.Fatalf("Delete(%d) = (%v, %v)", i, ok, err)
+		}
+	}
+	if got := tbl.NDead(); got != 25 {
+		t.Fatalf("NDead = %d, want 25", got)
+	}
+	if f := tbl.DeadFraction(); f < 0.49 || f > 0.51 {
+		t.Fatalf("DeadFraction = %g, want 0.5", f)
+	}
+
+	stats, err := tbl.Vacuum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DeadReclaimed != 25 {
+		t.Errorf("DeadReclaimed = %d, want 25", stats.DeadReclaimed)
+	}
+	if stats.BytesFreed <= 0 || stats.PagesCompacted <= 0 {
+		t.Errorf("vacuum freed %d bytes over %d pages, want > 0", stats.BytesFreed, stats.PagesCompacted)
+	}
+	if got := tbl.NDead(); got != 0 {
+		t.Errorf("NDead after vacuum = %d", got)
+	}
+	// Survivors stay readable at their original TIDs, victims stay gone.
+	for i, tid := range tids {
+		ok, err := tbl.Visible(tid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := i%2 == 1; ok != want {
+			t.Errorf("Visible(%d) = %v after vacuum, want %v", i, ok, want)
+		}
+	}
+	// A second vacuum is a no-op.
+	stats, err = tbl.Vacuum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DeadReclaimed != 0 {
+		t.Errorf("second vacuum reclaimed %d", stats.DeadReclaimed)
+	}
+}
+
+func TestVacuumThenInsertReusesTable(t *testing.T) {
+	tbl := newTable(t)
+	var tids []TID
+	for i := 0; i < 20; i++ {
+		tid, _ := tbl.Insert(sampleRow(i))
+		tids = append(tids, tid)
+	}
+	for _, tid := range tids {
+		tbl.Delete(tid)
+	}
+	if _, err := tbl.Vacuum(); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NTuples() != 0 {
+		t.Fatalf("NTuples = %d after delete-all vacuum", tbl.NTuples())
+	}
+	tid, err := tbl.Insert(sampleRow(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := tbl.Visible(tid); err != nil || !ok {
+		t.Fatalf("fresh insert not visible: (%v, %v)", ok, err)
+	}
+}
+
+func TestReopenRestoresDeadCount(t *testing.T) {
+	pool, _ := buffer.NewPool(4096, 64)
+	store := storage.NewMemStore(4096)
+	pool.Register(1, store)
+	tbl, _ := New(pool, 1, testSchema)
+	var tids []TID
+	for i := 0; i < 12; i++ {
+		tid, _ := tbl.Insert(sampleRow(i))
+		tids = append(tids, tid)
+	}
+	for i := 0; i < 4; i++ {
+		tbl.Delete(tids[i])
+	}
+	pool.FlushAll()
+	tbl2, err := New(pool, 1, testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl2.NTuples() != 8 {
+		t.Errorf("reopened NTuples = %d, want 8", tbl2.NTuples())
+	}
+	if tbl2.NDead() != 4 {
+		t.Errorf("reopened NDead = %d, want 4", tbl2.NDead())
+	}
+}
+
+// TestSampleTracksDeletes is the planner-statistics regression test:
+// deletes down-weight the reservoir immediately, and vacuum rebuilds it
+// from the surviving tuples, so selectivity estimates follow the live
+// distribution instead of the historical one.
+func TestSampleTracksDeletes(t *testing.T) {
+	tbl := newTable(t)
+	var tids []TID
+	for i := 0; i < 200; i++ {
+		tid, err := tbl.Insert(sampleRow(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tids = append(tids, tid)
+	}
+	lowFrac := func() float64 {
+		rows, err := tbl.Sample()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) == 0 {
+			return 0
+		}
+		low := 0
+		for _, r := range rows {
+			if r[0].(int32) < 100 {
+				low++
+			}
+		}
+		return float64(low) / float64(len(rows))
+	}
+	if f := lowFrac(); f < 0.3 || f > 0.7 {
+		t.Fatalf("pre-delete sample fraction id<100 = %g, want ~0.5", f)
+	}
+	// Skewed churn: delete every id < 100.
+	for i := 0; i < 100; i++ {
+		if ok, err := tbl.Delete(tids[i]); err != nil || !ok {
+			t.Fatalf("Delete(%d) = (%v, %v)", i, ok, err)
+		}
+	}
+	// The drop-on-delete path already purges them from the reservoir.
+	if f := lowFrac(); f != 0 {
+		t.Errorf("post-delete sample fraction id<100 = %g, want 0", f)
+	}
+	// And vacuum's full rebuild keeps it that way with restored uniformity.
+	if _, err := tbl.Vacuum(); err != nil {
+		t.Fatal(err)
+	}
+	if f := lowFrac(); f != 0 {
+		t.Errorf("post-vacuum sample fraction id<100 = %g, want 0", f)
+	}
+	rows, err := tbl.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("post-vacuum sample is empty with 100 live tuples")
 	}
 }

@@ -198,6 +198,68 @@ func (p Page) DeleteItem(offnum uint16) error {
 	return nil
 }
 
+// ItemIsDead reports whether the item at the 1-based offset number has
+// been deleted. Out-of-range offsets report false.
+func (p Page) ItemIsDead(offnum uint16) bool {
+	if !p.IsInit() || offnum == 0 || offnum > p.NumItems() {
+		return false
+	}
+	_, _, dead := p.itemID(offnum - 1)
+	return dead
+}
+
+// DeadSpace returns the payload bytes still held by the dead item at the
+// 1-based offset number — zero for live items and for dead items whose
+// space Compact already reclaimed.
+func (p Page) DeadSpace(offnum uint16) int {
+	if !p.IsInit() || offnum == 0 || offnum > p.NumItems() {
+		return 0
+	}
+	_, length, dead := p.itemID(offnum - 1)
+	if !dead {
+		return 0
+	}
+	return int(length)
+}
+
+// Compact rewrites the tuple data area dropping dead items' payloads, the
+// page half of VACUUM. Live payloads move toward the page tail (their
+// offset numbers are preserved — TIDs stay stable), dead line pointers
+// stay dead with a zero-length payload, and the reclaimed bytes join the
+// page's free space. Line pointers are never removed: reusing a dead
+// slot would let a stale index TID resolve to an unrelated new tuple.
+// Returns the number of bytes freed.
+func (p Page) Compact() int {
+	if !p.IsInit() {
+		return 0
+	}
+	n := p.NumItems()
+	oldUpper := p.upper()
+	// Copy live payloads out, then repack from the special space downward
+	// in the same MAXALIGNed style AddItem uses.
+	type live struct {
+		off  uint16
+		data []byte
+	}
+	lives := make([]live, 0, n)
+	for i := uint16(0); i < n; i++ {
+		off, length, dead := p.itemID(i)
+		if dead {
+			p.setItemID(i, 0, 0, true)
+			continue
+		}
+		lives = append(lives, live{off: i, data: append([]byte(nil), p[off:off+length]...)})
+	}
+	upper := p.special()
+	for _, lv := range lives {
+		upper = (upper - uint16(len(lv.data))) &^ (MaxAlign - 1)
+		copy(p[upper:], lv.data)
+		p.setItemID(lv.off, upper, uint16(len(lv.data)), false)
+	}
+	binary.LittleEndian.PutUint16(p[offUpper:], upper)
+	return int(upper) - int(oldUpper)
+}
+
 // OverwriteItem replaces the payload of an existing item in place. The new
 // payload must fit the item's current allocation; index AMs use it for
 // fixed-size entries (e.g., neighbor slots).

@@ -63,6 +63,32 @@ type SelectStmt struct {
 	HasLimit bool
 }
 
+// DeleteStmt is DELETE FROM table [WHERE col op lit [AND ...]].
+type DeleteStmt struct {
+	Table string
+	Where []Cond
+}
+
+// Assign is one SET col = literal assignment in an UPDATE.
+type Assign struct {
+	Col string
+	Val Literal
+}
+
+// UpdateStmt is UPDATE table SET col = lit [, ...] [WHERE ...].
+type UpdateStmt struct {
+	Table string
+	Set   []Assign
+	Where []Cond
+}
+
+// VacuumStmt is VACUUM [table]: reclaim dead heap space, repair index
+// tombstones, and rebuild the planner's reservoir sample. An empty Table
+// vacuums every table.
+type VacuumStmt struct {
+	Table string
+}
+
 // SetStmt is SET name = value (session scan parameters: nprobe, efs,
 // threads, ...).
 type SetStmt struct {
@@ -83,6 +109,9 @@ type ShowStmt struct {
 
 func (*CreateTableStmt) stmt() {}
 func (*InsertStmt) stmt()      {}
+func (*DeleteStmt) stmt()      {}
+func (*UpdateStmt) stmt()      {}
+func (*VacuumStmt) stmt()      {}
 func (*CreateIndexStmt) stmt() {}
 func (*SelectStmt) stmt()      {}
 func (*SetStmt) stmt()         {}

@@ -102,6 +102,8 @@ func (q *VectorQuery) Run() (*Result, error) {
 	if q.k == 0 {
 		return res, nil
 	}
+	s.db.StmtGate().RLock()
+	defer s.db.StmtGate().RUnlock()
 	s.lastFilter = execTrace{}
 
 	var hits []am.Result
@@ -123,9 +125,12 @@ func (q *VectorQuery) Run() (*Result, error) {
 		return nil, err
 	}
 	for _, h := range hits {
-		row, err := s.fetchRow(q.tbl, h.TID, q.outCols, h.Dist)
+		row, ok, err := s.fetchRow(q.tbl, h.TID, q.outCols, h.Dist)
 		if err != nil {
 			return nil, err
+		}
+		if !ok {
+			continue
 		}
 		res.Rows = append(res.Rows, row)
 	}
@@ -209,9 +214,12 @@ func (q *VectorQuery) Params() map[string]string {
 func (q *VectorQuery) Finish(hits []am.Result) (*Result, error) {
 	res := &Result{Cols: q.cols}
 	for _, h := range hits {
-		row, err := q.s.fetchRow(q.tbl, h.TID, q.outCols, h.Dist)
+		row, ok, err := q.s.fetchRow(q.tbl, h.TID, q.outCols, h.Dist)
 		if err != nil {
 			return nil, err
+		}
+		if !ok {
+			continue
 		}
 		res.Rows = append(res.Rows, row)
 	}
@@ -273,10 +281,14 @@ func MultiRun(qs []*VectorQuery) ([]*Result, error) {
 	if len(qs) == 0 {
 		return nil, nil
 	}
+	lead := qs[0]
+	// One shared read hold for the whole group: members target the same
+	// table (it is in the group key) and therefore the same database.
+	lead.s.db.StmtGate().RLock()
+	defer lead.s.db.StmtGate().RUnlock()
 	for _, q := range qs {
 		q.s.lastFilter = execTrace{}
 	}
-	lead := qs[0]
 
 	var hits [][]am.Result
 	var err error

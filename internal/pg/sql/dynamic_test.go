@@ -1,0 +1,349 @@
+package sql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// dynamicAMs is the access-method sweep for the dynamic-data suite:
+// every registered AM must make deleted tuples invisible on every read
+// path, mirroring the delete-then-search anomaly class from the VDBMS
+// bug taxonomy.
+var dynamicAMs = []string{"ivfflat", "ivfpq", "hnsw", "pgv_ivfflat"}
+
+// dynIndex builds an index of the given AM over t(vec) with options
+// that make the small-n search as close to exhaustive as each AM
+// allows.
+func dynIndex(t *testing.T, s *Session, am string) {
+	t.Helper()
+	var opts string
+	switch am {
+	case "hnsw":
+		opts = "WITH (bnn = 8, efb = 40, seed = 1)"
+	case "ivfpq":
+		opts = "WITH (clusters = 8, sample_ratio = 1, seed = 1, m = 2, ksub = 16)"
+	default:
+		opts = "WITH (clusters = 8, sample_ratio = 1, seed = 1)"
+	}
+	mustExec(t, s, fmt.Sprintf("CREATE INDEX dyn_idx ON t USING %s (vec) %s", am, opts))
+	mustExec(t, s, "SET nprobe = 8")
+}
+
+// assertNoneDeleted fails if any returned id falls in [lo, hi).
+func assertNoneDeleted(t *testing.T, label string, res *Result, lo, hi int32) {
+	t.Helper()
+	for _, row := range res.Rows {
+		if id := row[0].(int32); id >= lo && id < hi {
+			t.Errorf("%s: returned deleted id %d", label, id)
+		}
+	}
+}
+
+// TestDeleteThenSearchInvisibleAcrossAMs deletes the rows nearest the
+// query and demands the kNN answer is drawn entirely from survivors, on
+// the plain index path, the filtered path, and (where the AM supports
+// it) the batched multi-query path.
+func TestDeleteThenSearchInvisibleAcrossAMs(t *testing.T) {
+	const n, k = 200, 10
+	for _, am := range dynamicAMs {
+		t.Run(am, func(t *testing.T) {
+			s := newSession(t)
+			loadVectors(t, s, n)
+			dynIndex(t, s, am)
+
+			res := mustExec(t, s, "DELETE FROM t WHERE id < 50")
+			if res.Msg != "DELETE 50" {
+				t.Fatalf("delete msg = %q", res.Msg)
+			}
+
+			// Plain path: the 50 nearest rows to the origin are all gone.
+			q := fmt.Sprintf("SELECT id FROM t ORDER BY vec <-> '{0, 0, 0, 0}' LIMIT %d", k)
+			res = mustExec(t, s, q)
+			if len(res.Rows) != k {
+				t.Fatalf("plain: got %d rows, want %d", len(res.Rows), k)
+			}
+			assertNoneDeleted(t, "plain", res, 0, 50)
+			if am != "ivfpq" { // PQ distances may reorder the tail
+				if got, want := resultIDs(res), []int32{50, 51, 52, 53, 54, 55, 56, 57, 58, 59}; !idsEqual(got, want) {
+					t.Errorf("plain: ids = %v, want %v", got, want)
+				}
+			}
+
+			// Filtered path: the predicate admits deleted ids, visibility
+			// must still exclude them under every strategy.
+			for _, strat := range []string{"pre", "post", "intraversal"} {
+				mustExec(t, s, "SET filter_strategy = "+strat)
+				fres := mustExec(t, s, fmt.Sprintf(
+					"SELECT id FROM t WHERE id < 100 ORDER BY vec <-> '{0, 0, 0, 0}' LIMIT %d", k))
+				assertNoneDeleted(t, "filtered/"+strat, fres, 0, 50)
+				if len(fres.Rows) != k {
+					t.Errorf("filtered/%s: got %d rows, want %d", strat, len(fres.Rows), k)
+				}
+			}
+			mustExec(t, s, "SET filter_strategy = auto")
+
+			// Batched path: a same-key group through MultiRun.
+			var qs []*VectorQuery
+			for i := 0; i < 3; i++ {
+				_, vq, err := s.ExecuteOrPlan(fmt.Sprintf(
+					"SELECT id FROM t ORDER BY vec <-> '{%d, %d, 0, 0}' LIMIT %d", i, i, k))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if vq == nil {
+					t.Fatal("ExecuteOrPlan did not plan a vector query")
+				}
+				qs = append(qs, vq)
+			}
+			if ok, _ := qs[0].Batchable(); ok {
+				results, err := MultiRun(qs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, r := range results {
+					assertNoneDeleted(t, fmt.Sprintf("batched[%d]", i), r, 0, 50)
+					if len(r.Rows) != k {
+						t.Errorf("batched[%d]: got %d rows, want %d", i, len(r.Rows), k)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestUpdateChangesDistanceReordering checks the update path end to
+// end: after UPDATE moves a far row next to the query point, the row
+// wins the kNN; its old position must no longer be reachable.
+func TestUpdateChangesDistanceReordering(t *testing.T) {
+	s := newSession(t)
+	loadVectors(t, s, 100)
+	exhaustiveIVF(t, s)
+
+	res := mustExec(t, s, "UPDATE t SET vec = '{-3, -3, 0, 0}' WHERE id = 99")
+	if res.Msg != "UPDATE 1" {
+		t.Fatalf("update msg = %q", res.Msg)
+	}
+
+	// id 99 moved from (99,99) to (-3,-3): nearest to (-3.2,-3.2) by a mile.
+	res = mustExec(t, s, "SELECT id FROM t ORDER BY vec <-> '{-3.2, -3.2, 0, 0}' LIMIT 2")
+	if got, want := resultIDs(res), []int32{99, 0}; !idsEqual(got, want) {
+		t.Errorf("post-update top-2 = %v, want %v", got, want)
+	}
+	// And its old neighborhood no longer contains it.
+	res = mustExec(t, s, "SELECT id FROM t ORDER BY vec <-> '{99, 99, 0, 0}' LIMIT 1")
+	if got, want := resultIDs(res), []int32{98}; !idsEqual(got, want) {
+		t.Errorf("old-position top-1 = %v, want %v", got, want)
+	}
+}
+
+// TestDeleteAllThenVacuum empties the table under every AM: searches
+// return zero rows (not an error) before and after VACUUM, and a
+// subsequent insert re-seeds the index.
+func TestDeleteAllThenVacuum(t *testing.T) {
+	const n = 60
+	for _, am := range dynamicAMs {
+		t.Run(am, func(t *testing.T) {
+			s := newSession(t)
+			loadVectors(t, s, n)
+			dynIndex(t, s, am)
+
+			res := mustExec(t, s, "DELETE FROM t WHERE id >= 0")
+			if res.Msg != fmt.Sprintf("DELETE %d", n) {
+				t.Fatalf("delete msg = %q", res.Msg)
+			}
+			q := "SELECT id FROM t ORDER BY vec <-> '{0, 0, 0, 0}' LIMIT 5"
+			if res = mustExec(t, s, q); len(res.Rows) != 0 {
+				t.Fatalf("post-delete-all search returned %d rows", len(res.Rows))
+			}
+			mustExec(t, s, "VACUUM t")
+			if res = mustExec(t, s, q); len(res.Rows) != 0 {
+				t.Fatalf("post-vacuum search returned %d rows", len(res.Rows))
+			}
+			mustExec(t, s, "INSERT INTO t VALUES (7, '{7, 7, 0, 0}')")
+			res = mustExec(t, s, q)
+			if got, want := resultIDs(res), []int32{7}; !idsEqual(got, want) {
+				t.Errorf("post-reinsert search = %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+// TestVacuumVsFreshRebuildParity churns a table (deletes + updates),
+// vacuums it, and demands the repaired index answer queries exactly as
+// well as an index built from scratch on the surviving rows. At this
+// scale both ivfflat (exhaustive nprobe) and hnsw resolve the exact
+// neighbors, so parity is asserted on result sets, a stricter form of
+// the 0.5%-recall acceptance bound.
+func TestVacuumVsFreshRebuildParity(t *testing.T) {
+	const n, k = 150, 10
+	for _, am := range []string{"ivfflat", "hnsw"} {
+		t.Run(am, func(t *testing.T) {
+			s := newSession(t)
+			loadVectors(t, s, n)
+			dynIndex(t, s, am)
+
+			// 30% churn: delete ids ≡ 0 or 1 (mod 10), update ids ≡ 2 (mod 10).
+			for i := 0; i < n; i++ {
+				switch i % 10 {
+				case 0, 1:
+					mustExec(t, s, fmt.Sprintf("DELETE FROM t WHERE id = %d", i))
+				case 2:
+					mustExec(t, s, fmt.Sprintf("UPDATE t SET vec = '{%d, %d, 1, 1}' WHERE id = %d", i, i, i))
+				}
+			}
+			mustExec(t, s, "VACUUM t")
+
+			// Fresh rebuild on the identical surviving data.
+			mustExec(t, s, "CREATE TABLE t2 (id int, vec float[])")
+			var b strings.Builder
+			b.WriteString("INSERT INTO t2 VALUES ")
+			first := true
+			for i := 0; i < n; i++ {
+				if i%10 == 0 || i%10 == 1 {
+					continue
+				}
+				if !first {
+					b.WriteString(", ")
+				}
+				first = false
+				if i%10 == 2 {
+					fmt.Fprintf(&b, "(%d, '{%d, %d, 1, 1}')", i, i, i)
+				} else {
+					fmt.Fprintf(&b, "(%d, '{%d, %d, 0, 0}')", i, i, i)
+				}
+			}
+			mustExec(t, s, b.String())
+			var opts string
+			if am == "hnsw" {
+				opts = "WITH (bnn = 8, efb = 40, seed = 1)"
+			} else {
+				opts = "WITH (clusters = 8, sample_ratio = 1, seed = 1)"
+			}
+			mustExec(t, s, fmt.Sprintf("CREATE INDEX t2_idx ON t2 USING %s (vec) %s", am, opts))
+
+			for _, q := range []string{"{0, 0, 0, 0}", "{40.3, 40.3, 0, 0}", "{149, 149, 0, 0}", "{75.5, 75.5, 1, 1}"} {
+				vac := resultIDs(mustExec(t, s, fmt.Sprintf(
+					"SELECT id FROM t ORDER BY vec <-> '%s' LIMIT %d", q, k)))
+				fresh := resultIDs(mustExec(t, s, fmt.Sprintf(
+					"SELECT id FROM t2 ORDER BY vec <-> '%s' LIMIT %d", q, k)))
+				// Compare as sets: equal distances may tie-break differently.
+				sort.Slice(vac, func(i, j int) bool { return vac[i] < vac[j] })
+				sort.Slice(fresh, func(i, j int) bool { return fresh[i] < fresh[j] })
+				if !idsEqual(vac, fresh) {
+					t.Errorf("q=%s: vacuumed index = %v, fresh rebuild = %v", q, vac, fresh)
+				}
+			}
+		})
+	}
+}
+
+// TestSelectivityEstimateAfterChurn pins the planner-statistics
+// regression at the SQL layer: after skewed deletes, the selectivity
+// estimate for a predicate over the deleted range must collapse, both
+// immediately (drop-on-delete) and after the vacuum rebuild.
+func TestSelectivityEstimateAfterChurn(t *testing.T) {
+	s := newSession(t)
+	loadAttrVectors(t, s, 400)
+	tbl, err := s.db.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := compilePred([]Cond{{Col: "attr", Op: "<", Val: Literal{Num: 50, IsNum: true}}}, tbl.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := estimateSelectivity(tbl, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel < 0.3 || sel > 0.7 {
+		t.Fatalf("pre-churn estimate = %g, want ~0.5", sel)
+	}
+	mustExec(t, s, "DELETE FROM t WHERE attr < 50")
+	if sel, err = estimateSelectivity(tbl, pred); err != nil {
+		t.Fatal(err)
+	}
+	if sel > 0.05 {
+		t.Errorf("post-delete estimate = %g, want ~0", sel)
+	}
+	mustExec(t, s, "VACUUM t")
+	if sel, err = estimateSelectivity(tbl, pred); err != nil {
+		t.Fatal(err)
+	}
+	if sel > 0.05 {
+		t.Errorf("post-vacuum estimate = %g, want ~0", sel)
+	}
+}
+
+// TestAutoVacuumThreshold exercises the auto trigger: with
+// vacuum_threshold set, crossing the dead fraction inside a DELETE
+// fires an inline vacuum and the dead count returns to zero.
+func TestAutoVacuumThreshold(t *testing.T) {
+	s := newSession(t)
+	loadVectors(t, s, 100)
+	exhaustiveIVF(t, s)
+	mustExec(t, s, "SET vacuum_threshold = 0.25")
+	mustExec(t, s, "DELETE FROM t WHERE id < 30")
+	tbl, err := s.db.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.NDead(); got != 0 {
+		t.Errorf("NDead = %d after threshold-crossing delete, want 0 (auto-vacuum)", got)
+	}
+	st := s.db.Mutations()
+	if st.VacuumRuns == 0 {
+		t.Error("no vacuum run recorded")
+	}
+	if st.TuplesDeleted != 30 {
+		t.Errorf("TuplesDeleted = %d, want 30", st.TuplesDeleted)
+	}
+	// Threshold off: deletes accumulate again.
+	mustExec(t, s, "SET vacuum_threshold = 0")
+	mustExec(t, s, "DELETE FROM t WHERE id < 40")
+	if got := tbl.NDead(); got != 10 {
+		t.Errorf("NDead = %d with auto-vacuum off, want 10", got)
+	}
+}
+
+// TestDynamicParseAndErrors covers the new statements' parse surface.
+func TestDynamicParseAndErrors(t *testing.T) {
+	s := newSession(t)
+	loadVectors(t, s, 10)
+
+	// DELETE/UPDATE with no matches report zero without error.
+	if res := mustExec(t, s, "DELETE FROM t WHERE id = 500"); res.Msg != "DELETE 0" {
+		t.Errorf("msg = %q", res.Msg)
+	}
+	if res := mustExec(t, s, "UPDATE t SET id = 1 WHERE id = 500"); res.Msg != "UPDATE 0" {
+		t.Errorf("msg = %q", res.Msg)
+	}
+	// Bare VACUUM (all tables) and VACUUM <table> both parse.
+	mustExec(t, s, "VACUUM")
+	mustExec(t, s, "VACUUM t")
+
+	for _, bad := range []string{
+		"DELETE t WHERE id = 1",            // missing FROM
+		"UPDATE t id = 1",                  // missing SET
+		"UPDATE t SET WHERE id = 1",        // empty assignment list
+		"DELETE FROM missing WHERE id = 1", // unknown table
+		"UPDATE t SET nope = 1",            // unknown column
+		"VACUUM missing",                   // unknown table
+		"UPDATE t SET id = 'abc'",          // type mismatch
+	} {
+		if _, err := s.Execute(bad); err == nil {
+			t.Errorf("%q: expected error", bad)
+		}
+	}
+
+	// An UPDATE whose WHERE matches every row rewrites every row once
+	// (collect-then-mutate: no Halloween re-visitation of new tuples).
+	if res := mustExec(t, s, "UPDATE t SET vec = '{0, 0, 0, 0}' WHERE id >= 0"); res.Msg != "UPDATE 10" {
+		t.Errorf("msg = %q", res.Msg)
+	}
+	if res := mustExec(t, s, "SELECT count(*) FROM t"); res.Rows[0][0].(int64) != 10 {
+		t.Errorf("count after full-table update = %v", res.Rows[0][0])
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"vecstudy/internal/maintenance"
 	"vecstudy/internal/minheap"
 	"vecstudy/internal/pg/am"
 	"vecstudy/internal/pg/db"
@@ -18,6 +19,12 @@ import (
 // analogue of PostgreSQL's NUM_BUFFER_PARTITIONS compile-time constant.
 // 1 restores the paper's single-lock pool.
 const BufferPartitionsSetting = "buffer_partitions"
+
+// VacuumThresholdSetting is the auto-vacuum trigger: after a DELETE or
+// UPDATE, a table whose dead-tuple fraction meets or exceeds this value
+// is vacuumed in place (heap compaction + index repair + sample
+// rebuild). 0 disables auto-vacuum; VACUUM remains available manually.
+const VacuumThresholdSetting = "vacuum_threshold"
 
 // Setting describes one recognized session knob.
 type Setting struct {
@@ -39,6 +46,7 @@ var knownSettings = []Setting{
 	{"heap", "n", "ivfflat: top-k heap policy, n (PASE size-n, RC#6) or k (size-k)"},
 	{"nprobe", "20", "ivf: clusters probed per query"},
 	{"threads", "1", "intra-query scan parallelism"},
+	{VacuumThresholdSetting, "0", "auto-vacuum when a table's dead-tuple fraction reaches this (0 = off)"},
 }
 
 // KnownSettings returns the recognized session knobs (for SHOW ALL and
@@ -127,6 +135,10 @@ func ValidateSetting(name, value string) error {
 		if n, err := strconv.Atoi(value); err != nil || n < 1 || n > BatchMaxLimit {
 			return fmt.Errorf("sql: SET %s expects an integer between 1 and %d", BatchMaxSetting, BatchMaxLimit)
 		}
+	case VacuumThresholdSetting:
+		if f, err := strconv.ParseFloat(value, 64); err != nil || f < 0 || f > 1 {
+			return fmt.Errorf("sql: SET %s expects a fraction between 0 and 1", VacuumThresholdSetting)
+		}
 	}
 	return nil
 }
@@ -169,8 +181,17 @@ func (s *Session) run(stmt Stmt) (*Result, error) {
 		return &Result{Msg: "CREATE TABLE"}, nil
 	case *InsertStmt:
 		return s.runInsert(st)
+	case *DeleteStmt:
+		return s.runDelete(st)
+	case *UpdateStmt:
+		return s.runUpdate(st)
+	case *VacuumStmt:
+		return s.runVacuum(st)
 	case *CreateIndexStmt:
-		if _, err := s.db.CreateIndex(st.Name, st.Table, st.Column, st.AM, st.Options); err != nil {
+		s.db.StmtGate().RLock()
+		_, err := s.db.CreateIndex(st.Name, st.Table, st.Column, st.AM, st.Options)
+		s.db.StmtGate().RUnlock()
+		if err != nil {
 			return nil, err
 		}
 		return &Result{Msg: "CREATE INDEX"}, nil
@@ -205,6 +226,8 @@ func (s *Session) runInsert(st *InsertStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.db.StmtGate().RLock()
+	defer s.db.StmtGate().RUnlock()
 	schema := tbl.Schema()
 	for _, row := range st.Rows {
 		if len(row) != len(schema.Cols) {
@@ -223,6 +246,162 @@ func (s *Session) runInsert(st *InsertStmt) (*Result, error) {
 		}
 	}
 	return &Result{Msg: fmt.Sprintf("INSERT 0 %d", len(st.Rows))}, nil
+}
+
+// matchingTIDs collects the TIDs of live rows satisfying the predicate,
+// decoding values only when a predicate needs them. Collect-then-mutate
+// keeps DELETE and UPDATE out of their own way: an UPDATE's freshly
+// inserted rows can never be re-visited by the same statement (the
+// Halloween problem).
+func matchingTIDs(tbl *heap.Table, pred *compiledPred) ([]heap.TID, error) {
+	schema := tbl.Schema()
+	var tids []heap.TID
+	err := tbl.Scan(func(tid heap.TID, tup []byte) (bool, error) {
+		if pred != nil {
+			vals, err := schema.Decode(tup)
+			if err != nil {
+				return false, err
+			}
+			if !pred.eval(vals) {
+				return true, nil
+			}
+		}
+		tids = append(tids, tid)
+		return true, nil
+	})
+	return tids, err
+}
+
+// vacuumThreshold resolves the session's auto-vacuum trigger fraction.
+func (s *Session) vacuumThreshold() float64 {
+	v, ok := s.settings[VacuumThresholdSetting]
+	if !ok {
+		return 0
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0
+	}
+	return f
+}
+
+// maybeAutoVacuum vacuums the table if its dead fraction has reached the
+// session's vacuum_threshold. Callers hold the statement gate
+// exclusively already (DELETE/UPDATE run under it).
+func (s *Session) maybeAutoVacuum(tbl *heap.Table, table string) error {
+	th := s.vacuumThreshold()
+	if th <= 0 || tbl.DeadFraction() < th {
+		return nil
+	}
+	_, err := maintenance.VacuumTable(s.db, table)
+	return err
+}
+
+func (s *Session) runDelete(st *DeleteStmt) (*Result, error) {
+	tbl, err := s.db.Table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := compilePred(st.Where, tbl.Schema())
+	if err != nil {
+		return nil, err
+	}
+	s.db.StmtGate().Lock()
+	defer s.db.StmtGate().Unlock()
+	tids, err := matchingTIDs(tbl, pred)
+	if err != nil {
+		return nil, err
+	}
+	n := 0
+	for _, tid := range tids {
+		ok, err := s.db.Delete(st.Table, tid)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			n++
+		}
+	}
+	if err := s.maybeAutoVacuum(tbl, st.Table); err != nil {
+		return nil, err
+	}
+	return &Result{Msg: fmt.Sprintf("DELETE %d", n)}, nil
+}
+
+func (s *Session) runUpdate(st *UpdateStmt) (*Result, error) {
+	tbl, err := s.db.Table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := tbl.Schema()
+	pred, err := compilePred(st.Where, schema)
+	if err != nil {
+		return nil, err
+	}
+	type assign struct {
+		col int
+		val any
+	}
+	assigns := make([]assign, 0, len(st.Set))
+	for _, a := range st.Set {
+		col := schema.ColIndex(a.Col)
+		if col < 0 {
+			return nil, fmt.Errorf("sql: no column %q", a.Col)
+		}
+		v, err := litToValue(a.Val, schema.Cols[col])
+		if err != nil {
+			return nil, err
+		}
+		assigns = append(assigns, assign{col: col, val: v})
+	}
+	s.db.StmtGate().Lock()
+	defer s.db.StmtGate().Unlock()
+	tids, err := matchingTIDs(tbl, pred)
+	if err != nil {
+		return nil, err
+	}
+	n := 0
+	for _, tid := range tids {
+		var values []any
+		ok, err := tbl.GetVisible(tid, func(tup []byte) error {
+			var err error
+			values, err = schema.Decode(tup)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		for _, a := range assigns {
+			values[a.col] = a.val
+		}
+		if _, ok, err := s.db.Update(st.Table, tid, values); err != nil {
+			return nil, err
+		} else if ok {
+			n++
+		}
+	}
+	if err := s.maybeAutoVacuum(tbl, st.Table); err != nil {
+		return nil, err
+	}
+	return &Result{Msg: fmt.Sprintf("UPDATE %d", n)}, nil
+}
+
+func (s *Session) runVacuum(st *VacuumStmt) (*Result, error) {
+	s.db.StmtGate().Lock()
+	defer s.db.StmtGate().Unlock()
+	if st.Table != "" {
+		if _, err := maintenance.VacuumTable(s.db, st.Table); err != nil {
+			return nil, err
+		}
+		return &Result{Msg: "VACUUM"}, nil
+	}
+	if _, err := maintenance.VacuumAll(s.db); err != nil {
+		return nil, err
+	}
+	return &Result{Msg: "VACUUM"}, nil
 }
 
 // litToValue coerces a parsed literal to the column's Go type.
@@ -284,6 +463,8 @@ func (s *Session) runSelect(st *SelectStmt) (*Result, error) {
 	}
 
 	// Plain (optionally filtered) sequential scan.
+	s.db.StmtGate().RLock()
+	defer s.db.StmtGate().RUnlock()
 	res := &Result{Cols: colNames(outCols, schema, st)}
 	count := 0
 	err = tbl.Scan(func(tid heap.TID, tup []byte) (bool, error) {
@@ -372,9 +553,12 @@ func (s *Session) exactSearch(st *SelectStmt, tbl *heap.Table, vcol, k int, pred
 		return nil, err
 	}
 	for _, it := range top.Results() {
-		row, err := s.fetchRow(tbl, tids[it.ID], outCols, it.Dist)
+		row, ok, err := s.fetchRow(tbl, tids[it.ID], outCols, it.Dist)
 		if err != nil {
 			return nil, err
+		}
+		if !ok {
+			continue
 		}
 		res.Rows = append(res.Rows, row)
 	}
@@ -431,10 +615,13 @@ func (s *Session) postFilterSearch(tbl *heap.Table, idx am.Index, query []float3
 	}
 }
 
-// fetchRow resolves a TID to projected output values.
-func (s *Session) fetchRow(tbl *heap.Table, tid heap.TID, outCols []int, dist float32) ([]any, error) {
+// fetchRow resolves a TID to projected output values. A TID whose heap
+// tuple has died since the index entry was written reports (nil, false,
+// nil) and the caller drops the row — the executor's visibility
+// re-check, the last line of defense against a stale index TID.
+func (s *Session) fetchRow(tbl *heap.Table, tid heap.TID, outCols []int, dist float32) ([]any, bool, error) {
 	var row []any
-	err := tbl.Get(tid, func(tup []byte) error {
+	ok, err := tbl.GetVisible(tid, func(tup []byte) error {
 		vals, err := tbl.Schema().Decode(tup)
 		if err != nil {
 			return err
@@ -442,7 +629,7 @@ func (s *Session) fetchRow(tbl *heap.Table, tid heap.TID, outCols []int, dist fl
 		row = project(vals, outCols, dist)
 		return nil
 	})
-	return row, err
+	return row, ok, err
 }
 
 // resolveColumns maps the target list to column ordinals; -1 encodes the

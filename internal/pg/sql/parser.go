@@ -75,6 +75,17 @@ func (p *parser) parseStmt() (Stmt, error) {
 		return nil, p.errorf("expected TABLE or INDEX after CREATE")
 	case p.accept(tokIdent, "insert"):
 		return p.parseInsert()
+	case p.accept(tokIdent, "delete"):
+		return p.parseDelete()
+	case p.accept(tokIdent, "update"):
+		return p.parseUpdate()
+	case p.accept(tokIdent, "vacuum"):
+		st := &VacuumStmt{}
+		if p.at(tokIdent, "") {
+			st.Table = p.cur().text
+			p.pos++
+		}
+		return st, nil
 	case p.accept(tokIdent, "select"):
 		return p.parseSelect()
 	case p.accept(tokIdent, "set"):
@@ -185,6 +196,72 @@ func (p *parser) parseInsert() (Stmt, error) {
 		}
 	}
 	return &InsertStmt{Table: table.text, Rows: rows}, nil
+}
+
+// parseWhere parses an optional WHERE clause of AND-chained conditions.
+func (p *parser) parseWhere() ([]Cond, error) {
+	if !p.accept(tokIdent, "where") {
+		return nil, nil
+	}
+	var conds []Cond
+	for {
+		cond, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		conds = append(conds, cond)
+		if !p.accept(tokIdent, "and") {
+			return conds, nil
+		}
+	}
+}
+
+func (p *parser) parseDelete() (Stmt, error) {
+	if _, err := p.expect(tokIdent, "from"); err != nil {
+		return nil, err
+	}
+	table, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	where, err := p.parseWhere()
+	if err != nil {
+		return nil, err
+	}
+	return &DeleteStmt{Table: table.text, Where: where}, nil
+}
+
+func (p *parser) parseUpdate() (Stmt, error) {
+	table, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokIdent, "set"); err != nil {
+		return nil, err
+	}
+	var assigns []Assign
+	for {
+		col, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		lit, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		assigns = append(assigns, Assign{Col: col.text, Val: lit})
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	where, err := p.parseWhere()
+	if err != nil {
+		return nil, err
+	}
+	return &UpdateStmt{Table: table.text, Set: assigns, Where: where}, nil
 }
 
 // parseLiteral handles numbers, strings, vector strings, and NULL. A
@@ -356,18 +433,11 @@ func (p *parser) parseSelect() (Stmt, error) {
 	}
 	sel.Table = table.text
 
-	if p.accept(tokIdent, "where") {
-		for {
-			cond, err := p.parseCond()
-			if err != nil {
-				return nil, err
-			}
-			sel.Where = append(sel.Where, cond)
-			if !p.accept(tokIdent, "and") {
-				break
-			}
-		}
+	where, err := p.parseWhere()
+	if err != nil {
+		return nil, err
 	}
+	sel.Where = where
 
 	if p.accept(tokIdent, "order") {
 		if _, err := p.expect(tokIdent, "by"); err != nil {

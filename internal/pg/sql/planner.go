@@ -251,7 +251,9 @@ func (s *Session) planFilter(tbl *heap.Table, idx am.Index, cp *compiledPred) (f
 
 // predicateFor compiles cp into an am.Predicate resolving TIDs through
 // the heap, memoizing per-TID verdicts (graph traversals revisit, and
-// the post-filter refill loop re-sees earlier hits).
+// the post-filter refill loop re-sees earlier hits). The visibility
+// check rides along: a dead tuple satisfies no predicate, so a stale
+// index TID is filtered out rather than resolved.
 func predicateFor(tbl *heap.Table, cp *compiledPred) am.Predicate {
 	schema := tbl.Schema()
 	cache := make(map[heap.TID]bool)
@@ -260,7 +262,7 @@ func predicateFor(tbl *heap.Table, cp *compiledPred) am.Predicate {
 			return ok, nil
 		}
 		var ok bool
-		err := tbl.Get(tid, func(tup []byte) error {
+		visible, err := tbl.GetVisible(tid, func(tup []byte) error {
 			vals, err := schema.Decode(tup)
 			if err != nil {
 				return err
@@ -271,6 +273,7 @@ func predicateFor(tbl *heap.Table, cp *compiledPred) am.Predicate {
 		if err != nil {
 			return false, err
 		}
+		ok = ok && visible
 		cache[tid] = ok
 		return ok, nil
 	}

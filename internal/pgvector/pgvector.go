@@ -81,18 +81,32 @@ func (ix *Index) Search(query []float32, k int, params map[string]string) ([]am.
 		return nil, err
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].dist < cands[j].dist })
-	if k > len(cands) {
-		k = len(cands)
-	}
-	out := make([]am.Result, k)
-	for i := 0; i < k; i++ {
+	out := make([]am.Result, 0, k)
+	for i := 0; i < len(cands) && len(out) < k; i++ {
 		// Re-evaluate the ORDER BY expression against the heap tuple, as
-		// the generic executor re-check does.
-		v, err := ix.ctx.Table.GetVector(cands[i].tid, ix.ctx.VecCol)
+		// the generic executor re-check does. The visibility check doubles
+		// as the executor's tuple re-check: a candidate whose heap tuple
+		// died since the index entry was written is skipped and the next
+		// sorted candidate takes its slot.
+		v, ok, err := ix.ctx.Table.GetVectorVisible(cands[i].tid, ix.ctx.VecCol)
 		if err != nil {
 			return nil, fmt.Errorf("pgvector: re-fetch %v: %w", cands[i].tid, err)
 		}
-		out[i] = am.Result{TID: cands[i].tid, Dist: vec.L2SqrRef(query, v)}
+		if !ok {
+			continue
+		}
+		out = append(out, am.Result{TID: cands[i].tid, Dist: vec.L2SqrRef(query, v)})
 	}
 	return out, nil
 }
+
+// Delete implements am.MutableIndex by tombstoning the entry in the
+// underlying bucket structure.
+func (ix *Index) Delete(v []float32, tid heap.TID) (bool, error) { return ix.inner.Delete(v, tid) }
+
+// DeadCount implements am.MutableIndex.
+func (ix *Index) DeadCount() int64 { return ix.inner.DeadCount() }
+
+// Maintain implements am.MutableIndex: IVF list compaction on the
+// underlying chains.
+func (ix *Index) Maintain() (int64, error) { return ix.inner.Maintain() }

@@ -96,8 +96,27 @@ type dbBackend struct {
 
 func (b dbBackend) NewSession() Session { return batch.NewSession(sql.NewSession(b.d), b.co) }
 
-// StatsRows contributes the coalescer's counters to SHOW server_stats.
-func (b dbBackend) StatsRows() [][]any { return b.co.StatsRows() }
+// StatsRows contributes the coalescer's counters and the dynamic-data
+// counters (dead tuples awaiting vacuum, delete/update/vacuum tallies)
+// to SHOW server_stats.
+func (b dbBackend) StatsRows() [][]any {
+	rows := b.co.StatsRows()
+	var dead int64
+	for _, tm := range b.d.Catalog().Tables() {
+		if tbl, err := b.d.Table(tm.Name); err == nil {
+			dead += tbl.NDead()
+		}
+	}
+	ms := b.d.Mutations()
+	return append(rows,
+		[]any{"dead_tuples", dead},
+		[]any{"tuples_deleted", ms.TuplesDeleted},
+		[]any{"tuples_updated", ms.TuplesUpdated},
+		[]any{"vacuum_runs", ms.VacuumRuns},
+		[]any{"vacuum_dead_reclaimed", ms.DeadReclaimed},
+		[]any{"index_repairs", ms.IndexRepairs},
+	)
+}
 
 // Server serves a backend over TCP.
 type Server struct {
