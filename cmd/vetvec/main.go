@@ -28,6 +28,7 @@ import (
 	"vecstudy/internal/analysis/load"
 	"vecstudy/internal/analysis/lockscope"
 	"vecstudy/internal/analysis/pinrelease"
+	"vecstudy/internal/analysis/rawdistance"
 	"vecstudy/internal/analysis/sqlstate"
 )
 
@@ -37,6 +38,7 @@ var analyzers = []*analysis.Analyzer{
 	sqlstate.Analyzer,
 	gohygiene.Analyzer,
 	deadvisibility.Analyzer,
+	rawdistance.Analyzer,
 }
 
 func main() {

@@ -172,6 +172,11 @@ func IsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool 
 	if !ok || fn.Name() != name {
 		return false
 	}
+	// A method's *types.Func also reports the declaring package: require
+	// no receiver so kern.L2Sqr never matches the package-level L2Sqr.
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false
+	}
 	return fn.Pkg() != nil && fn.Pkg().Path() == pkgPath
 }
 

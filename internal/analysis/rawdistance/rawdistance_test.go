@@ -1,0 +1,21 @@
+package rawdistance_test
+
+import (
+	"testing"
+
+	"vecstudy/internal/analysis/analysistest"
+	"vecstudy/internal/analysis/rawdistance"
+)
+
+func TestRawDistanceInScope(t *testing.T) {
+	// An ordinary package path puts the fixture in scope.
+	analysistest.RunPath(t, ".", rawdistance.Analyzer, "kernelpath",
+		"vecstudy/internal/pase/kernelpathfixture")
+}
+
+func TestRawDistanceOutOfScope(t *testing.T) {
+	// Under the internal/vec import path the same loops are the kernel
+	// implementations themselves: no want comments, any diagnostic fails.
+	analysistest.RunPath(t, ".", rawdistance.Analyzer, "vecinternal",
+		"vecstudy/internal/vec/kernels")
+}

@@ -1,0 +1,24 @@
+// Package vecinternal is the out-of-scope rawdistance fixture: loaded
+// under the internal/vec import path, raw subtract-square arithmetic is
+// exactly what kernel implementations are made of, so nothing here may
+// be flagged.
+package vecinternal
+
+// l2 is a kernel-style scalar loop — the thing internal/vec exists for.
+func l2(x, y []float32) float32 {
+	var s float32
+	for i := range x {
+		d := x[i] - y[i]
+		s += d * d
+	}
+	return s
+}
+
+// l2Inline likewise with the one-expression form.
+func l2Inline(x, y []float32) float32 {
+	var s float32
+	for i := range x {
+		s += (x[i] - y[i]) * (x[i] - y[i])
+	}
+	return s
+}

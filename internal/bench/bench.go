@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"vecstudy/internal/dataset"
+	"vecstudy/internal/vec"
 )
 
 // Config parameterizes a harness run.
@@ -83,6 +84,11 @@ type Experiment struct {
 	Paper string // the paper's headline result, for side-by-side reading
 	Run   func(cfg *Config) error
 }
+
+// benchRefKern pins every exact-oracle computation in this package (the
+// churn and filtered ground truths) to the ref kernel, matching
+// dataset.ComputeGroundTruth.
+var benchRefKern = vec.Ref()
 
 var registry = map[string]Experiment{}
 

@@ -18,7 +18,7 @@ func TestRegistryCoversEveryFigureAndTable(t *testing.T) {
 		"tab3", "tab4", "tab5",
 		"ablation_io", "ablation_heap", "ablation_pqtab", "ablation_kmeans", "ablation_layout",
 		"qps", "qps_remote", "qps_cluster", "qps_batched",
-		"filtered", "churn",
+		"filtered", "churn", "kernels", "sq8",
 	}
 	for _, id := range want {
 		if _, err := Lookup(id); err != nil {
@@ -39,8 +39,9 @@ func TestLookupUnknown(t *testing.T) {
 // TestExperimentsRunAtSmokeScale executes a representative subset of the
 // drivers end to end. The heavy sweeps (fig9, fig18) and the full HNSW
 // builds are covered by the quick variants here plus the root benchmarks;
-// churn runs as its own CI smoke step (its per-statement mutation loop
-// under -race would push this package past the test binary's timeout).
+// churn, kernels, and sq8 run as their own CI smoke steps (their extra
+// index builds and per-statement loops under -race would push this
+// package past the test binary's timeout).
 func TestExperimentsRunAtSmokeScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping harness smoke in -short mode")

@@ -10,7 +10,6 @@ import (
 
 	"vecstudy/internal/pg/db"
 	"vecstudy/internal/pg/sql"
-	"vecstudy/internal/vec"
 
 	_ "vecstudy/internal/pase/all"
 )
@@ -81,7 +80,7 @@ func runChurn(cfg *Config) error {
 		qv := ds.Queries.Row(q)
 		for i := 0; i < n; i++ {
 			if live[i] {
-				cands = append(cands, cand{int32(i), vec.L2SqrRef(qv, cur[i])})
+				cands = append(cands, cand{int32(i), benchRefKern.L2Sqr(qv, cur[i])})
 			}
 		}
 		sort.Slice(cands, func(a, b int) bool { return cands[a].dist < cands[b].dist })

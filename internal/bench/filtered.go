@@ -9,7 +9,6 @@ import (
 
 	"vecstudy/internal/pg/db"
 	"vecstudy/internal/pg/sql"
-	"vecstudy/internal/vec"
 
 	_ "vecstudy/internal/pase/all"
 )
@@ -111,7 +110,7 @@ func runFiltered(cfg *Config) error {
 		qv := ds.Queries.Row(q)
 		for i := 0; i < n; i++ {
 			if float64(i%100) < attrBound {
-				cands = append(cands, cand{int32(i), vec.L2SqrRef(qv, ds.Base.Row(i))})
+				cands = append(cands, cand{int32(i), benchRefKern.L2Sqr(qv, ds.Base.Row(i))})
 			}
 		}
 		sort.Slice(cands, func(a, b int) bool { return cands[a].dist < cands[b].dist })

@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"vecstudy/internal/pg/db"
+	"vecstudy/internal/pg/sql"
+	"vecstudy/internal/server"
+	"vecstudy/internal/vec"
+)
+
+// loadLineSQ8 mirrors loadLine but indexes with ivfsq8, so the
+// scatter-gather path exercises quantized scan + re-rank on every shard.
+func loadLineSQ8(t *testing.T, sess server.Session, n int) {
+	t.Helper()
+	mustExec(t, sess, "CREATE TABLE t (id int, vec float[])")
+	var b strings.Builder
+	b.WriteString("INSERT INTO t VALUES ")
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "(%d, '{%d, %d, 0, 0}')", i, i, i)
+	}
+	mustExec(t, sess, b.String())
+	mustExec(t, sess, "CREATE INDEX idx ON t USING ivfsq8 (vec) WITH (clusters = 8, sample_ratio = 1, seed = 1)")
+}
+
+// TestClusterSQ8KernelReplay: the router must replay SET
+// distance_kernel and SET sq8_rerank to every shard, and the sharded
+// ivfsq8 answer must match a single-node database under the same knobs,
+// at 2 and 4 shards and under every registered kernel. Also checks that
+// a KNOWN-but-possibly-unregistered kernel (avx2 on non-AVX2 hosts)
+// records without error — the shard falls back at scan time.
+func TestClusterSQ8KernelReplay(t *testing.T) {
+	const n, k = 150, 8
+	queries := []string{
+		"SELECT id FROM t ORDER BY vec <-> '{12.2, 12.2, 0, 0}' LIMIT %d",
+		"SELECT id FROM t ORDER BY vec <-> '{103.6, 104.1, 0, 0}' LIMIT %d",
+	}
+	knobs := []string{"SET nprobe = 8", "SET sq8_rerank = 2"}
+
+	// Single-node reference under identical knobs.
+	ref, err := db.Open(db.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ref.Close() })
+	refSess := sql.NewSession(ref)
+	loadLineSQ8(t, refSess, n)
+	for _, kn := range knobs {
+		mustExec(t, refSess, kn)
+	}
+	want := map[string][][]int32{}
+	for _, kern := range vec.RegisteredKernelNames() {
+		mustExec(t, refSess, "SET distance_kernel = "+kern)
+		for _, q := range queries {
+			want[kern] = append(want[kern], ids(t, mustExec(t, refSess, fmt.Sprintf(q, k))))
+		}
+	}
+
+	for _, shards := range []int{2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			reps := make([]int, shards)
+			for i := range reps {
+				reps[i] = 1
+			}
+			h := newHarness(t, reps...)
+			sess := h.router(Config{HealthInterval: -1}).NewSession()
+			loadLineSQ8(t, sess, n)
+			for _, kn := range knobs {
+				mustExec(t, sess, kn)
+			}
+			// Every KNOWN kernel name must be recordable at the router,
+			// registered here or not.
+			for _, kern := range vec.KnownKernelNames() {
+				mustExec(t, sess, "SET distance_kernel = "+kern)
+			}
+			for _, kern := range vec.RegisteredKernelNames() {
+				mustExec(t, sess, "SET distance_kernel = "+kern)
+				for i, q := range queries {
+					got := ids(t, mustExec(t, sess, fmt.Sprintf(q, k)))
+					// Set comparison: scatter-gather merge may break
+					// exact-distance ties differently than one node.
+					gotSet := append([]int32(nil), got...)
+					wantSet := append([]int32(nil), want[kern][i]...)
+					sort.Slice(gotSet, func(a, b int) bool { return gotSet[a] < gotSet[b] })
+					sort.Slice(wantSet, func(a, b int) bool { return wantSet[a] < wantSet[b] })
+					if fmt.Sprint(gotSet) != fmt.Sprint(wantSet) {
+						t.Errorf("kernel %s q%d: got %v, want %v", kern, i, got, want[kern][i])
+					}
+				}
+			}
+		})
+	}
+}

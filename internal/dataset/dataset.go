@@ -153,6 +153,11 @@ func Generate(p Profile, opt GenOptions) *Dataset {
 	return ds
 }
 
+// refKern pins ground-truth arithmetic to the ref kernel: the oracle a
+// recall number is measured against must not drift with whichever
+// optimized kernels this host registered.
+var refKern = vec.Ref()
+
 // ComputeGroundTruth fills GroundTruth with the exact top-k neighbors of
 // every query by brute force, parallelized across queries.
 func (ds *Dataset) ComputeGroundTruth(k, threads int) {
@@ -165,7 +170,7 @@ func (ds *Dataset) ComputeGroundTruth(k, threads int) {
 		heap := minheap.NewTopK(k)
 		query := ds.Queries.Row(q)
 		for i := 0; i < n; i++ {
-			heap.Push(int64(i), vec.L2Sqr(query, ds.Base.Data[i*d:(i+1)*d]))
+			heap.Push(int64(i), refKern.L2Sqr(query, ds.Base.Data[i*d:(i+1)*d]))
 		}
 		items := heap.Results()
 		ids := make([]int32, len(items))

@@ -305,7 +305,7 @@ func (ix *Index) selectNeighbors(cands []minheap.Item, capacity int) []minheap.I
 		cv := ix.vecs.Row(int(c.ID))
 		diverse := true
 		for _, s := range kept {
-			if vec.L2Sqr(cv, ix.vecs.Row(int(s.ID))) < c.Dist {
+			if kern.L2Sqr(cv, ix.vecs.Row(int(s.ID))) < c.Dist {
 				diverse = false
 				break
 			}
@@ -325,8 +325,13 @@ func (ix *Index) selectNeighbors(cands []minheap.Item, capacity int) []minheap.I
 	return kept
 }
 
+// kern is the fixed kernel the specialized engine scores with: the
+// session-level SET distance_kernel knob is a SQL-layer concept; the
+// in-memory engine always uses the best registered kernel.
+var kern = vec.Default()
+
 func (ix *Index) dist(x []float32, id int32) float32 {
-	return vec.L2Sqr(x, ix.vecs.Row(int(id)))
+	return kern.L2Sqr(x, ix.vecs.Row(int(id)))
 }
 
 // Search returns the k nearest stored vectors to query. efs is the search

@@ -337,11 +337,16 @@ func (ix *Index) scanList(list int32, term1 float32, tab []float32, heap *minhea
 	pr.Timer("adc-scan").Stop(ts)
 }
 
+// kern is the fixed kernel the specialized engine scores with: the
+// session-level SET distance_kernel knob is a SQL-layer concept; the
+// in-memory engine always uses the best registered kernel.
+var kern = vec.Default()
+
 func (ix *Index) selectProbes(query []float32, nprobe int) ([]int32, []float32) {
 	heap := minheap.NewTopK(nprobe)
 	d := ix.opts.Dim
 	for c := 0; c < ix.opts.NList; c++ {
-		heap.Push(int64(c), vec.L2Sqr(query, ix.centroids[c*d:(c+1)*d]))
+		heap.Push(int64(c), kern.L2Sqr(query, ix.centroids[c*d:(c+1)*d]))
 	}
 	items := heap.Results()
 	lists := make([]int32, len(items))

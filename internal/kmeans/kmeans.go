@@ -182,14 +182,20 @@ func initRandom(data []float32, n, d, k int, centroids []float32, rng *rand.Rand
 }
 
 // initPlusPlus seeds centroids with k-means++ (D² weighting) — the
+var refKern = vec.Ref()
+
 // better-spread initialization our Faiss flavour uses.
+//
+// Seeding arithmetic runs on the ref kernel: training must be
+// reproducible across hosts and sessions, independent of which optimized
+// kernels happen to be registered.
 func initPlusPlus(data []float32, n, d, k int, centroids []float32, rng *rand.Rand) {
 	first := rng.Intn(n)
 	copy(centroids[:d], data[first*d:(first+1)*d])
 	minDist := make([]float64, n)
 	var total float64
 	for i := 0; i < n; i++ {
-		dd := float64(vec.L2Sqr(data[i*d:(i+1)*d], centroids[:d]))
+		dd := float64(refKern.L2Sqr(data[i*d:(i+1)*d], centroids[:d]))
 		minDist[i] = dd
 		total += dd
 	}
@@ -216,7 +222,7 @@ func initPlusPlus(data []float32, n, d, k int, centroids []float32, rng *rand.Ra
 		}
 		total = 0
 		for i := 0; i < n; i++ {
-			dd := float64(vec.L2Sqr(data[i*d:(i+1)*d], dst))
+			dd := float64(refKern.L2Sqr(data[i*d:(i+1)*d], dst))
 			if dd < minDist[i] {
 				minDist[i] = dd
 			}

@@ -1,4 +1,4 @@
-// Package all registers every generalized index access method (the three
+// Package all registers every generalized index access method (the four
 // PASE AMs plus the pgvector-style baseline) with the am registry. Blank
 // import it wherever the generalized engine must resolve `USING <am>`
 // clauses:
@@ -10,5 +10,6 @@ import (
 	_ "vecstudy/internal/pase/hnsw"
 	_ "vecstudy/internal/pase/ivfflat"
 	_ "vecstudy/internal/pase/ivfpq"
+	_ "vecstudy/internal/pase/ivfsq8"
 	_ "vecstudy/internal/pgvector"
 )

@@ -170,7 +170,7 @@ func (ix *Index) repairLevel(v VID, level uint16) error {
 		if _, dead := ix.tombs[nb.key()]; dead {
 			return nil
 		}
-		d, err := ix.distTo(vvec, nb)
+		d, err := ix.distTo(refKern, vvec, nb)
 		if err != nil {
 			return err
 		}

@@ -206,7 +206,7 @@ func (ix *Index) insertLocked(v []float32, tid heap.TID) error {
 	}
 
 	ep := ix.meta.Entry
-	epDist, err := ix.distTo(v, ep)
+	epDist, err := ix.distTo(refKern, v, ep)
 	if err != nil {
 		return err
 	}
@@ -214,7 +214,7 @@ func (ix *Index) insertLocked(v []float32, tid heap.TID) error {
 	// GreedyUpdate: descend levels above the new vertex's level.
 	ts := pr.Timer("GreedyUpdate").Start()
 	for lev := uint16(ix.meta.MaxLevel); int32(lev) > int32(level) && lev > 0; lev-- {
-		ep, epDist, err = ix.greedyClosest(v, ep, epDist, lev)
+		ep, epDist, err = ix.greedyClosest(refKern, v, ep, epDist, lev)
 		if err != nil {
 			pr.Timer("GreedyUpdate").Stop(ts)
 			return err
@@ -228,7 +228,7 @@ func (ix *Index) insertLocked(v []float32, tid heap.TID) error {
 	}
 	for lev := int32(topLevel); lev >= 0; lev-- {
 		ts := pr.Timer("SearchNbToAdd").Start()
-		cands, err := ix.searchLayer(v, ep, epDist, int(ix.meta.EFB), uint16(lev), nil)
+		cands, err := ix.searchLayer(refKern, v, ep, epDist, int(ix.meta.EFB), uint16(lev), nil)
 		pr.Timer("SearchNbToAdd").Stop(ts)
 		if err != nil {
 			return err
@@ -338,7 +338,7 @@ func (ix *Index) shrinkWith(v, extra VID, level uint16) error {
 	}
 	cands := make([]scored, 0, len(nbs)+1)
 	seen := map[uint64]bool{extra.key(): true}
-	d, err := ix.distTo(vvec, extra)
+	d, err := ix.distTo(refKern, vvec, extra)
 	if err != nil {
 		return err
 	}
@@ -348,7 +348,7 @@ func (ix *Index) shrinkWith(v, extra VID, level uint16) error {
 			continue
 		}
 		seen[nb.key()] = true
-		d, err := ix.distTo(vvec, nb)
+		d, err := ix.distTo(refKern, vvec, nb)
 		if err != nil {
 			return err
 		}
@@ -597,14 +597,20 @@ func (ix *Index) tidOf(v VID) (heap.TID, error) {
 	return tid, err
 }
 
+// refKern pins graph construction and repair to the ref kernel: the
+// edges a vertex gets (and the repairs Delete/Maintain perform) must not
+// depend on the session's SET distance_kernel. Search paths resolve the
+// session kernel via pase.KernelOpt and thread it through distTo.
+var refKern = vec.Ref()
+
 // distTo computes the distance between query and the vertex's vector,
 // through the buffer pool (tuple access + fvec_L2sqr, as Fig 8 splits).
-func (ix *Index) distTo(query []float32, v VID) (float32, error) {
+func (ix *Index) distTo(kern vec.Kernel, query []float32, v VID) (float32, error) {
 	pr := ix.ctx.Prof
 	var d float32
 	err := ix.withVector(v, func(view []float32) {
 		ts := pr.Timer("fvec_L2sqr").Start()
-		d = vec.L2SqrRef(query, view)
+		d = kern.L2Sqr(query, view)
 		pr.Timer("fvec_L2sqr").Stop(ts)
 	})
 	return d, err
@@ -647,7 +653,7 @@ func (ix *Index) neighborsAt(v VID, level uint16) ([]VID, error) {
 }
 
 // greedyClosest walks one level moving to strictly closer neighbors.
-func (ix *Index) greedyClosest(query []float32, ep VID, epDist float32, level uint16) (VID, float32, error) {
+func (ix *Index) greedyClosest(kern vec.Kernel, query []float32, ep VID, epDist float32, level uint16) (VID, float32, error) {
 	for {
 		nbs, err := ix.neighborsAt(ep, level)
 		if err != nil {
@@ -655,7 +661,7 @@ func (ix *Index) greedyClosest(query []float32, ep VID, epDist float32, level ui
 		}
 		improved := false
 		for _, nb := range nbs {
-			d, err := ix.distTo(query, nb)
+			d, err := ix.distTo(kern, query, nb)
 			if err != nil {
 				return ep, epDist, err
 			}
@@ -677,7 +683,7 @@ func (ix *Index) greedyClosest(query []float32, ep VID, epDist float32, level ui
 // filtered-out regions), but only predicate-satisfying vertices enter
 // the result heap — in-traversal filtered kNN, the way filtered HNSW
 // variants gate the result set.
-func (ix *Index) searchLayer(query []float32, ep VID, epDist float32, ef int, level uint16, pred am.Predicate) ([]scored, error) {
+func (ix *Index) searchLayer(kern vec.Kernel, query []float32, ep VID, epDist float32, ef int, level uint16, pred am.Predicate) ([]scored, error) {
 	pr := ix.ctx.Prof
 	tVisit := pr.Timer("HVTGet")
 
@@ -737,7 +743,7 @@ func (ix *Index) searchLayer(query []float32, ep VID, epDist float32, ef int, le
 			if seen {
 				continue
 			}
-			d, err := ix.distTo(query, nb)
+			d, err := ix.distTo(kern, query, nb)
 			if err != nil {
 				return nil, err
 			}
@@ -778,7 +784,7 @@ func (ix *Index) selectNeighbors(cands []scored, capacity int) ([]scored, error)
 		for _, s := range kept {
 			var d float32
 			if err := ix.withVector(s.vid, func(view []float32) {
-				d = vec.L2SqrRef(cvec, view)
+				d = refKern.L2Sqr(cvec, view)
 			}); err != nil {
 				return nil, err
 			}

@@ -39,19 +39,23 @@ func (ix *Index) SearchFiltered(query []float32, k int, params map[string]string
 	if efs < k {
 		efs = k
 	}
+	kern, err := pase.KernelOpt(params)
+	if err != nil {
+		return nil, err
+	}
 
 	ep := ix.meta.Entry
-	epDist, err := ix.distTo(query, ep)
+	epDist, err := ix.distTo(kern, query, ep)
 	if err != nil {
 		return nil, err
 	}
 	for lev := ix.meta.MaxLevel; lev > 0; lev-- {
-		ep, epDist, err = ix.greedyClosest(query, ep, epDist, uint16(lev))
+		ep, epDist, err = ix.greedyClosest(kern, query, ep, epDist, uint16(lev))
 		if err != nil {
 			return nil, err
 		}
 	}
-	cands, err := ix.searchLayer(query, ep, epDist, efs, 0, pred)
+	cands, err := ix.searchLayer(kern, query, ep, epDist, efs, 0, pred)
 	if err != nil {
 		return nil, err
 	}

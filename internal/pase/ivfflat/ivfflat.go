@@ -300,12 +300,18 @@ func (ix *Index) centroidLoc(cid int) (uint32, uint16) {
 	return ix.meta.FirstCentroidBlk + uint32(cid/per), uint16(cid%per) + 1
 }
 
+// refKern is the fixed reference kernel for bucket assignment: Insert
+// and Delete must re-derive the same bucket for a vector regardless of
+// the session's SET distance_kernel, so assignment arithmetic is pinned
+// here and never dispatched.
+var refKern = vec.Ref()
+
 // nearestCentroid runs the PASE-style scalar argmin over all centroids.
 func (ix *Index) nearestCentroid(x []float32) int {
 	d := int(ix.meta.Dim)
-	best, bestD := 0, vec.L2SqrRef(x, ix.centroidCache[:d])
+	best, bestD := 0, refKern.L2Sqr(x, ix.centroidCache[:d])
 	for c := 1; c < int(ix.meta.NList); c++ {
-		if dd := vec.L2SqrRef(x, ix.centroidCache[c*d:(c+1)*d]); dd < bestD {
+		if dd := refKern.L2Sqr(x, ix.centroidCache[c*d:(c+1)*d]); dd < bestD {
 			best, bestD = c, dd
 		}
 	}

@@ -6,28 +6,31 @@ import (
 	"fmt"
 	"sort"
 
-	"vecstudy/internal/blas"
 	"vecstudy/internal/minheap"
 	"vecstudy/internal/pase"
 	"vecstudy/internal/pg/am"
 	"vecstudy/internal/pg/buffer"
 	"vecstudy/internal/pg/heap"
 	"vecstudy/internal/pg/page"
+	"vecstudy/internal/vec"
 )
 
 // MultiSearch implements am.BatchIndex: a batch of queries executes as
 // one multi-query probe. Centroid scoring for the whole batch is a
-// single SGEMM-shaped blas.L2SqrNT call (paper RC#1 applied to serving),
-// and each probed bucket's page chain is walked once for every query
-// probing it, so page pins and tuple accesses are amortized across the
-// batch instead of repeated per query.
+// single SGEMM-shaped kernel L2SqrNT call (paper RC#1 applied to
+// serving), and each probed bucket's page chain is walked once for
+// every query probing it, so page pins and tuple accesses are amortized
+// across the batch instead of repeated per query.
 //
-// Results are byte-identical to per-query Search/SearchFiltered calls:
+// Results are byte-identical to per-query Search/SearchFiltered calls
+// under every kernel (a batch group never mixes kernels —
+// distance_kernel is part of the coalescer's group key):
 //
-//   - blas.L2SqrNT is bit-equal to the per-pair vec.L2SqrRef solo probe
-//     selection uses, and the per-query TopK(nprobe) sees centroids in
-//     the same c=0..NList-1 push order, so probe lists match exactly;
-//   - bucket distances are one blas.L2SqrNTRows call per bucket segment,
+//   - every kernel's L2SqrNT is bit-equal, pair by pair, to the solo
+//     L2Sqr that selectProbes uses (the kernelparity contract), and the
+//     per-query TopK(nprobe) sees centroids in the same c=0..NList-1
+//     push order, so probe lists match exactly;
+//   - bucket distances are one kernel L2SqrNTRows call per bucket segment,
 //     with the bucket's tuples as the A rows — zero-copy views into the
 //     pinned pages — and the subscribing queries as the B rows. The
 //     transposition is deliberate: A rows drive the unroll, and a bucket
@@ -94,8 +97,12 @@ func (ix *Index) MultiSearch(queries [][]float32, ks []int, params map[string]st
 	if nprobe > int(ix.meta.NList) {
 		nprobe = int(ix.meta.NList)
 	}
+	kern, err := pase.KernelOpt(params)
+	if err != nil {
+		return nil, err
+	}
 
-	probes := ix.multiSelectProbes(queries, nprobe)
+	probes := ix.multiSelectProbes(kern, queries, nprobe)
 
 	// Invert probe lists into per-bucket subscriber lists and scan the
 	// bucket union once, recording candidates per (query, probe-rank).
@@ -137,7 +144,7 @@ func (ix *Index) MultiSearch(queries [][]float32, ks []int, params map[string]st
 			}
 			dd := dists[:nt*len(ss)]
 			ts := tDist.Start()
-			blas.L2SqrNTRows(rows, d, qf, len(ss), dd)
+			kern.L2SqrNTRows(rows, d, qf, len(ss), dd)
 			tDist.Stop(ts)
 			for si, sb := range ss {
 				lst := cand[sb.qi][sb.rank]
@@ -320,9 +327,10 @@ func (ix *Index) multiSearchSolo(queries [][]float32, ks []int, params map[strin
 
 // multiSelectProbes ranks all centroids against the whole batch with one
 // batched scoring call and returns each query's nprobe nearest bucket
-// IDs — the same lists selectProbes produces, since L2SqrNT matches
-// vec.L2SqrRef bitwise and the TopK push order (c ascending) is shared.
-func (ix *Index) multiSelectProbes(queries [][]float32, nprobe int) [][]int32 {
+// IDs — the same lists selectProbes produces, since the kernel's
+// L2SqrNT matches its solo L2Sqr bitwise per pair and the TopK push
+// order (c ascending) is shared.
+func (ix *Index) multiSelectProbes(kern vec.Kernel, queries [][]float32, nprobe int) [][]int32 {
 	d := int(ix.meta.Dim)
 	nlist := int(ix.meta.NList)
 	B := len(queries)
@@ -331,7 +339,7 @@ func (ix *Index) multiSelectProbes(queries [][]float32, nprobe int) [][]int32 {
 		copy(flat[i*d:(i+1)*d], q)
 	}
 	dists := make([]float32, B*nlist)
-	blas.L2SqrNTParallel(flat, B, d, ix.centroidCache[:nlist*d], nlist, dists, 0)
+	vec.NTParallel(kern, flat, B, d, ix.centroidCache[:nlist*d], nlist, dists, 0)
 	out := make([][]int32, B)
 	for i := range queries {
 		h := minheap.NewTopK(nprobe)

@@ -38,16 +38,20 @@ func (ix *Index) Search(query []float32, k int, params map[string]string) ([]am.
 	if nprobe > int(ix.meta.NList) {
 		nprobe = int(ix.meta.NList)
 	}
-	probes := ix.selectProbes(query, nprobe)
+	kern, err := pase.KernelOpt(params)
+	if err != nil {
+		return nil, err
+	}
+	probes := ix.selectProbes(kern, query, nprobe)
 	if threads > 1 {
-		return ix.searchParallel(query, k, probes, threads)
+		return ix.searchParallel(kern, query, k, probes, threads)
 	}
 	// The RC#6 ablation: heap=k replaces PASE's size-n collector with the
 	// Faiss-style bounded heap, leaving everything else untouched.
 	if params["heap"] == "k" {
-		return ix.searchBoundedHeap(query, k, probes)
+		return ix.searchBoundedHeap(kern, query, k, probes)
 	}
-	return ix.searchSerial(query, k, probes)
+	return ix.searchSerial(kern, query, k, probes)
 }
 
 // SearchFiltered implements am.FilteredIndex: the predicate is applied
@@ -75,9 +79,13 @@ func (ix *Index) SearchFiltered(query []float32, k int, params map[string]string
 	if nprobe > int(ix.meta.NList) {
 		nprobe = int(ix.meta.NList)
 	}
+	kern, err := pase.KernelOpt(params)
+	if err != nil {
+		return nil, err
+	}
 	top := minheap.NewTopK(k)
 	var predErr error
-	err = ix.scanBuckets(query, ix.selectProbes(query, nprobe), func(tid heap.TID, dist float32) {
+	err = ix.scanBuckets(kern, query, ix.selectProbes(kern, query, nprobe), func(tid heap.TID, dist float32) {
 		if predErr != nil {
 			return
 		}
@@ -101,11 +109,11 @@ func (ix *Index) SearchFiltered(query []float32, k int, params map[string]string
 
 // searchBoundedHeap is searchSerial with the Faiss top-k strategy — used
 // only by the ablation_heap experiment to isolate RC#6.
-func (ix *Index) searchBoundedHeap(query []float32, k int, probes []int32) ([]am.Result, error) {
+func (ix *Index) searchBoundedHeap(kern vec.Kernel, query []float32, k int, probes []int32) ([]am.Result, error) {
 	pr := ix.ctx.Prof
 	top := minheap.NewTopK(k)
 	tHeap := pr.Timer("min-heap")
-	err := ix.scanBuckets(query, probes, func(tid heap.TID, dist float32) {
+	err := ix.scanBuckets(kern, query, probes, func(tid heap.TID, dist float32) {
 		ts := tHeap.Start()
 		top.Push(int64(packTID(tid)), dist)
 		tHeap.Stop(ts)
@@ -116,13 +124,13 @@ func (ix *Index) searchBoundedHeap(query []float32, k int, probes []int32) ([]am
 	return itemsToResults(top.Results()), nil
 }
 
-// selectProbes ranks all centroids by distance (scalar loops over the
+// selectProbes ranks all centroids by distance (kernel calls over the
 // centroid cache) and returns the nprobe nearest bucket IDs.
-func (ix *Index) selectProbes(query []float32, nprobe int) []int32 {
+func (ix *Index) selectProbes(kern vec.Kernel, query []float32, nprobe int) []int32 {
 	d := int(ix.meta.Dim)
 	heap := minheap.NewTopK(nprobe)
 	for c := 0; c < int(ix.meta.NList); c++ {
-		heap.Push(int64(c), vec.L2SqrRef(query, ix.centroidCache[c*d:(c+1)*d]))
+		heap.Push(int64(c), kern.L2Sqr(query, ix.centroidCache[c*d:(c+1)*d]))
 	}
 	items := heap.Results()
 	out := make([]int32, len(items))
@@ -135,11 +143,11 @@ func (ix *Index) selectProbes(query []float32, nprobe int) []int32 {
 // searchSerial walks each probed bucket's page chain through the buffer
 // pool, pushing every candidate into a size-n collector, then heapifies
 // and pops k (the PASE top-k strategy, RC#6).
-func (ix *Index) searchSerial(query []float32, k int, probes []int32) ([]am.Result, error) {
+func (ix *Index) searchSerial(kern vec.Kernel, query []float32, k int, probes []int32) ([]am.Result, error) {
 	pr := ix.ctx.Prof
 	collector := minheap.NewCollector(1024)
 	tHeap := pr.Timer("min-heap")
-	err := ix.scanBuckets(query, probes, func(tid heap.TID, dist float32) {
+	err := ix.scanBuckets(kern, query, probes, func(tid heap.TID, dist float32) {
 		ts := tHeap.Start()
 		collector.Push(int64(packTID(tid)), dist)
 		tHeap.Stop(ts)
@@ -156,11 +164,11 @@ func (ix *Index) searchSerial(query []float32, k int, probes []int32) ([]am.Resu
 // searchParallel distributes probed buckets over the shared worker pool;
 // every worker pushes into a single mutex-guarded global heap — PASE's
 // strategy in Fig 18, which is why it fails to scale.
-func (ix *Index) searchParallel(query []float32, k int, probes []int32, threads int) ([]am.Result, error) {
+func (ix *Index) searchParallel(kern vec.Kernel, query []float32, k int, probes []int32, threads int) ([]am.Result, error) {
 	global := minheap.NewSharedTopK(k)
 	err := pase.ScanProbesParallel(probes, threads, func() func(int32) error {
 		return func(probe int32) error {
-			return ix.scanBuckets(query, []int32{probe}, func(tid heap.TID, dist float32) {
+			return ix.scanBuckets(kern, query, []int32{probe}, func(tid heap.TID, dist float32) {
 				global.Push(int64(packTID(tid)), dist)
 			})
 		}
@@ -175,13 +183,13 @@ func (ix *Index) searchParallel(query []float32, k int, probes []int32, threads 
 // the entry's TID and its distance to the query. All page access goes
 // through the buffer pool; the breakdown timers attribute time exactly as
 // Table V does (fvec_L2sqr vs tuple access).
-func (ix *Index) scanBuckets(query []float32, probes []int32, emit func(heap.TID, float32)) error {
+func (ix *Index) scanBuckets(kern vec.Kernel, query []float32, probes []int32, emit func(heap.TID, float32)) error {
 	pr := ix.ctx.Prof
 	tDist := pr.Timer("fvec_L2sqr")
 	for _, cid := range probes {
 		err := ix.scanBucketRaw(cid, func(tid heap.TID, v []float32) {
 			ts := tDist.Start()
-			dist := vec.L2SqrRef(query, v)
+			dist := kern.L2Sqr(query, v)
 			tDist.Stop(ts)
 			emit(tid, dist)
 		})
@@ -251,17 +259,18 @@ func (ix *Index) scanBucketRaw(cid int32, emit func(heap.TID, []float32)) error 
 }
 
 // ScanProbes selects the nprobe buckets nearest to query and streams
-// every (tid, distance) candidate to emit. It exposes the bucket-scan
-// machinery to sibling access methods (the pgvector-style baseline builds
-// the same structure but ranks candidates differently).
-func (ix *Index) ScanProbes(query []float32, nprobe int, emit func(heap.TID, float32)) error {
+// every (tid, distance) candidate to emit, scoring through kern. It
+// exposes the bucket-scan machinery to sibling access methods (the
+// pgvector-style baseline builds the same structure but ranks
+// candidates differently).
+func (ix *Index) ScanProbes(kern vec.Kernel, query []float32, nprobe int, emit func(heap.TID, float32)) error {
 	if nprobe <= 0 {
 		nprobe = 1
 	}
 	if nprobe > int(ix.meta.NList) {
 		nprobe = int(ix.meta.NList)
 	}
-	return ix.scanBuckets(query, ix.selectProbes(query, nprobe), emit)
+	return ix.scanBuckets(kern, query, ix.selectProbes(kern, query, nprobe), emit)
 }
 
 // packTID squeezes a TID into an int64 for the heap item ID.

@@ -198,10 +198,15 @@ func Build(ctx *am.BuildContext) (am.Index, error) {
 	return ix, nil
 }
 
+// refKern pins build-, insert-, and delete-time bucket assignment to the
+// ref kernel: which bucket a tuple lands in (and is later re-derived
+// from on Delete) must not depend on the session's SET distance_kernel.
+var refKern = vec.Ref()
+
 func nearest(x, centroids []float32, k, d int) int {
-	best, bestD := 0, vec.L2SqrRef(x, centroids[:d])
+	best, bestD := 0, refKern.L2Sqr(x, centroids[:d])
 	for c := 1; c < k; c++ {
-		if dd := vec.L2SqrRef(x, centroids[c*d:(c+1)*d]); dd < bestD {
+		if dd := refKern.L2Sqr(x, centroids[c*d:(c+1)*d]); dd < bestD {
 			best, bestD = c, dd
 		}
 	}
@@ -464,7 +469,11 @@ func (ix *Index) Search(query []float32, k int, params map[string]string) ([]am.
 	if nprobe > int(ix.meta.NList) {
 		nprobe = int(ix.meta.NList)
 	}
-	probes := ix.selectProbes(query, nprobe)
+	kern, err := pase.KernelOpt(params)
+	if err != nil {
+		return nil, err
+	}
+	probes := ix.selectProbes(kern, query, nprobe)
 	if threads > 1 {
 		return ix.searchParallel(query, k, probes, threads)
 	}
@@ -512,11 +521,15 @@ func (ix *Index) SearchFiltered(query []float32, k int, params map[string]string
 	if nprobe > int(ix.meta.NList) {
 		nprobe = int(ix.meta.NList)
 	}
+	kern, err := pase.KernelOpt(params)
+	if err != nil {
+		return nil, err
+	}
 	top := minheap.NewTopK(k)
 	tab := make([]float32, ix.quant.M*ix.quant.KSub)
 	scratch := make([]float32, ix.meta.Dim)
 	var predErr error
-	for _, cid := range ix.selectProbes(query, nprobe) {
+	for _, cid := range ix.selectProbes(kern, query, nprobe) {
 		if err := ix.scanBucket(query, cid, tab, scratch, func(tid heap.TID, dist float32) {
 			if predErr != nil {
 				return
@@ -653,11 +666,11 @@ func (ix *Index) scanCodes(cid int32, emit func(heap.TID, []byte)) error {
 	return nil
 }
 
-func (ix *Index) selectProbes(query []float32, nprobe int) []int32 {
+func (ix *Index) selectProbes(kern vec.Kernel, query []float32, nprobe int) []int32 {
 	d := int(ix.meta.Dim)
 	heap := minheap.NewTopK(nprobe)
 	for c := 0; c < int(ix.meta.NList); c++ {
-		heap.Push(int64(c), vec.L2SqrRef(query, ix.centroidCache[c*d:(c+1)*d]))
+		heap.Push(int64(c), kern.L2Sqr(query, ix.centroidCache[c*d:(c+1)*d]))
 	}
 	items := heap.Results()
 	out := make([]int32, len(items))

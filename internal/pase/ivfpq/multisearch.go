@@ -5,16 +5,16 @@ import (
 	"fmt"
 	"sort"
 
-	"vecstudy/internal/blas"
 	"vecstudy/internal/minheap"
 	"vecstudy/internal/pase"
 	"vecstudy/internal/pg/am"
 	"vecstudy/internal/pg/heap"
+	"vecstudy/internal/vec"
 )
 
 // MultiSearch implements am.BatchIndex for IVF_PQ. Coarse centroid
-// scoring for the whole batch is one blas.L2SqrNT call (bit-equal to the
-// per-pair vec.L2SqrRef of selectProbes), and each probed bucket's code
+// scoring for the whole batch is one kernel L2SqrNT call (bit-equal,
+// pair by pair, to the solo L2Sqr of selectProbes), and each probed bucket's code
 // chain is walked once for all queries probing it, amortizing page pins
 // across the batch. The per-(query, bucket) distance tables are still
 // rebuilt from scratch with the exact solo arithmetic — RC#7 is about
@@ -75,7 +75,11 @@ func (ix *Index) MultiSearch(queries [][]float32, ks []int, params map[string]st
 		nprobe = int(ix.meta.NList)
 	}
 
-	probes := ix.multiSelectProbes(queries, nprobe)
+	kern, err := pase.KernelOpt(params)
+	if err != nil {
+		return nil, err
+	}
+	probes := ix.multiSelectProbes(kern, queries, nprobe)
 
 	type sub struct{ qi, rank int }
 	subs := make(map[int32][]sub)
@@ -184,7 +188,7 @@ func (ix *Index) multiSearchSolo(queries [][]float32, ks []int, params map[strin
 
 // multiSelectProbes is selectProbes for the whole batch via one batched
 // scoring call; see the ivfflat sibling for the bitwise-parity argument.
-func (ix *Index) multiSelectProbes(queries [][]float32, nprobe int) [][]int32 {
+func (ix *Index) multiSelectProbes(kern vec.Kernel, queries [][]float32, nprobe int) [][]int32 {
 	d := int(ix.meta.Dim)
 	nlist := int(ix.meta.NList)
 	B := len(queries)
@@ -193,7 +197,7 @@ func (ix *Index) multiSelectProbes(queries [][]float32, nprobe int) [][]int32 {
 		copy(flat[i*d:(i+1)*d], q)
 	}
 	dists := make([]float32, B*nlist)
-	blas.L2SqrNTParallel(flat, B, d, ix.centroidCache[:nlist*d], nlist, dists, 0)
+	vec.NTParallel(kern, flat, B, d, ix.centroidCache[:nlist*d], nlist, dists, 0)
 	out := make([][]int32, B)
 	for i := range queries {
 		h := minheap.NewTopK(nprobe)

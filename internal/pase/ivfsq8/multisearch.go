@@ -1,0 +1,191 @@
+package ivfsq8
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"vecstudy/internal/minheap"
+	"vecstudy/internal/pase"
+	"vecstudy/internal/pg/am"
+	"vecstudy/internal/pg/heap"
+	"vecstudy/internal/vec"
+)
+
+// MultiSearch implements am.BatchIndex: the batch shares one centroid
+// scoring pass (kernel L2SqrNT, bit-equal pair by pair to solo probe
+// selection) and one walk over the union of probed bucket chains, so
+// page pins amortize across queries. Inside the shared walk each
+// subscriber takes the same scoring path its solo call would:
+// unpredicated queries score each page with the decomposed form
+// (DotSQ8Batch on the identical code views, w and ‖u‖² from the
+// identical DecomposeQuery transform, reassembled with the identical
+// expression), predicated queries score survivors per item with the
+// direct solo form. Every per-(query, code) distance is therefore
+// bit-equal to the solo scan's.
+//
+// Results are byte-identical to per-query SearchFiltered calls: every
+// heap in the SQ8 pipeline (quantized TopK(k·β), final TopK(k)) uses
+// the (Dist, ID) total order, so only the candidate multiset matters,
+// and the shared walk feeds each query exactly the multiset its solo
+// scan would have seen.
+func (ix *Index) MultiSearch(queries [][]float32, ks []int, params map[string]string, preds []am.Predicate) ([][]am.Result, error) {
+	B := len(queries)
+	if len(ks) != B || (preds != nil && len(preds) != B) {
+		return nil, errors.New("pase/ivfsq8: MultiSearch argument lengths differ")
+	}
+	if B == 0 {
+		return nil, nil
+	}
+	pred := func(i int) am.Predicate {
+		if preds == nil {
+			return nil
+		}
+		return preds[i]
+	}
+	for i := range queries {
+		if len(queries[i]) != int(ix.meta.Dim) {
+			return nil, fmt.Errorf("pase/ivfsq8: query dimension %d != %d", len(queries[i]), ix.meta.Dim)
+		}
+		if ks[i] <= 0 {
+			return nil, errors.New("pase/ivfsq8: k must be positive")
+		}
+	}
+	nprobe, err := pase.OptInt(params, "nprobe", 20)
+	if err != nil {
+		return nil, err
+	}
+	beta, err := pase.OptInt(params, "sq8_rerank", 4)
+	if err != nil {
+		return nil, err
+	}
+	if beta < 1 {
+		beta = 1
+	}
+	if nprobe <= 0 {
+		nprobe = 1
+	}
+	if nprobe > int(ix.meta.NList) {
+		nprobe = int(ix.meta.NList)
+	}
+	kern, err := pase.KernelOpt(params)
+	if err != nil {
+		return nil, err
+	}
+
+	probes := ix.multiSelectProbes(kern, queries, nprobe)
+
+	// Invert probe lists into per-bucket subscriber lists and walk the
+	// bucket union once, in ascending bucket order.
+	subs := make(map[int32][]int)
+	for qi, ps := range probes {
+		for _, cid := range ps {
+			subs[cid] = append(subs[cid], qi)
+		}
+	}
+	order := make([]int32, 0, len(subs))
+	for cid := range subs {
+		order = append(order, cid)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+	approx := make([]*minheap.TopK, B)
+	for i := range approx {
+		approx[i] = minheap.NewTopK(ks[i] * beta)
+	}
+
+	// Query-side decomposition for the unpredicated subscribers: the
+	// same sequential transform the solo plain scan applies, so each
+	// query's w and ‖u‖² are bit-identical to its solo values.
+	ws := make([][]float32, B)
+	unorms := make([]float32, B)
+	for i, q := range queries {
+		ws[i] = make([]float32, len(q))
+		unorms[i] = ix.sq.DecomposeQuery(q, ws[i])
+	}
+
+	tDist := ix.ctx.Prof.Timer("fvec_L2sqr")
+	sc := &pageScanScratch{}
+	for _, cid := range order {
+		ss := subs[cid]
+		err := ix.scanBucketPages(cid, sc, func(tids []heap.TID, codes [][]byte, norms []float32) error {
+			if cap(sc.dists) < len(codes) {
+				sc.dists = make([]float32, len(codes))
+			}
+			dists := sc.dists[:len(codes)]
+			for _, qi := range ss {
+				p := pred(qi)
+				if p == nil {
+					ts := tDist.Start()
+					kern.DotSQ8Batch(ws[qi], codes, dists)
+					for i := range dists {
+						dists[i] = unorms[qi] - 2*dists[i] + norms[i]
+					}
+					tDist.Stop(ts)
+					for i, tid := range tids {
+						approx[qi].Push(packTID(tid), dists[i])
+					}
+					continue
+				}
+				for i, tid := range tids {
+					ok, err := p(tid)
+					if err != nil {
+						return err
+					}
+					if !ok {
+						continue
+					}
+					ts := tDist.Start()
+					dist := kern.L2SqrSQ8(queries[qi], codes[i], ix.sq)
+					tDist.Stop(ts)
+					approx[qi].Push(packTID(tid), dist)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	out := make([][]am.Result, B)
+	for i := range queries {
+		hits, err := ix.rerank(kern, queries[i], ks[i], approx[i].Results())
+		if err != nil {
+			return nil, err
+		}
+		out[i] = hits
+	}
+	return out, nil
+}
+
+// multiSelectProbes ranks all centroids against the whole batch with
+// one batched scoring call and returns each query's nprobe nearest
+// bucket IDs — the same lists selectProbes produces, since the kernel's
+// L2SqrNT matches its solo L2Sqr bitwise per pair and the TopK push
+// order (c ascending) is shared.
+func (ix *Index) multiSelectProbes(kern vec.Kernel, queries [][]float32, nprobe int) [][]int32 {
+	d := int(ix.meta.Dim)
+	nlist := int(ix.meta.NList)
+	B := len(queries)
+	flat := make([]float32, B*d)
+	for i, q := range queries {
+		copy(flat[i*d:(i+1)*d], q)
+	}
+	dists := make([]float32, B*nlist)
+	vec.NTParallel(kern, flat, B, d, ix.centroidCache[:nlist*d], nlist, dists, 0)
+	out := make([][]int32, B)
+	for i := range queries {
+		h := minheap.NewTopK(nprobe)
+		for c := 0; c < nlist; c++ {
+			h.Push(int64(c), dists[i*nlist+c])
+		}
+		items := h.Results()
+		ps := make([]int32, len(items))
+		for j, it := range items {
+			ps[j] = int32(it.ID)
+		}
+		out[i] = ps
+	}
+	return out
+}

@@ -1,0 +1,294 @@
+package ivfsq8
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"vecstudy/internal/minheap"
+	"vecstudy/internal/pase"
+	"vecstudy/internal/pg/am"
+	"vecstudy/internal/pg/heap"
+	"vecstudy/internal/pg/page"
+	"vecstudy/internal/vec"
+)
+
+// Search implements am.Index. params: nprobe (default 20), sq8_rerank
+// (β, default 4), distance_kernel. The quantized scan scores one page
+// of codes per kernel call in the decomposed asymmetric form
+// (DotSQ8Batch against per-entry stored norms) and keeps the k·β
+// best candidates by asymmetric code distance in a bounded TopK, then
+// every survivor is re-fetched from the heap (visibility-checked, so
+// entries whose rows died since indexing silently drop out) and
+// re-scored at full precision; the final TopK(k) ranks those exact
+// distances. Both heaps use the (Dist, ID) total order, so results do
+// not depend on bucket visit order — which is what lets MultiSearch
+// share one chain walk and still return byte-identical rows.
+func (ix *Index) Search(query []float32, k int, params map[string]string) ([]am.Result, error) {
+	return ix.SearchFiltered(query, k, params, nil)
+}
+
+// SearchFiltered implements am.FilteredIndex: the predicate gates
+// candidates before they enter the quantized TopK (in-traversal
+// filtering), so β over-fetch is spent entirely on rows that qualify.
+func (ix *Index) SearchFiltered(query []float32, k int, params map[string]string, pred am.Predicate) ([]am.Result, error) {
+	if len(query) != int(ix.meta.Dim) {
+		return nil, fmt.Errorf("pase/ivfsq8: query dimension %d != %d", len(query), ix.meta.Dim)
+	}
+	if k <= 0 {
+		return nil, errors.New("pase/ivfsq8: k must be positive")
+	}
+	nprobe, err := pase.OptInt(params, "nprobe", 20)
+	if err != nil {
+		return nil, err
+	}
+	beta, err := pase.OptInt(params, "sq8_rerank", 4)
+	if err != nil {
+		return nil, err
+	}
+	if beta < 1 {
+		beta = 1
+	}
+	if nprobe <= 0 {
+		nprobe = 1
+	}
+	if nprobe > int(ix.meta.NList) {
+		nprobe = int(ix.meta.NList)
+	}
+	kern, err := pase.KernelOpt(params)
+	if err != nil {
+		return nil, err
+	}
+
+	approx := minheap.NewTopK(k * beta)
+	probes := ix.selectProbes(kern, query, nprobe)
+	if pred == nil {
+		// Plain scans score one whole page per kernel call in the
+		// decomposed form: dist_i = ‖u‖² − 2·(w·c_i) + norm_i, with the
+		// query terms precomputed once (vec.SQ8.DecomposeQuery) and each
+		// entry's code norm read off the page where Build stored it. The
+		// per-candidate kernel work is then a bare uint8 dot product —
+		// roughly a third of the direct subtract-square form. The
+		// reassembled distance rounds differently from the direct form,
+		// which only moves candidates at the k·β selection boundary; the
+		// full-precision re-rank makes the returned distances exact
+		// either way. MultiSearch applies the identical transform and
+		// per-page kernel calls, so batched and solo results still match
+		// bitwise.
+		tDist := ix.ctx.Prof.Timer("fvec_L2sqr")
+		sc := &pageScanScratch{}
+		w := make([]float32, len(query))
+		unorm := ix.sq.DecomposeQuery(query, w)
+		for _, cid := range probes {
+			err := ix.scanBucketPages(cid, sc, func(tids []heap.TID, codes [][]byte, norms []float32) error {
+				if cap(sc.dists) < len(codes) {
+					sc.dists = make([]float32, len(codes))
+				}
+				dists := sc.dists[:len(codes)]
+				ts := tDist.Start()
+				kern.DotSQ8Batch(w, codes, dists)
+				for i := range dists {
+					dists[i] = unorm - 2*dists[i] + norms[i]
+				}
+				tDist.Stop(ts)
+				for i, tid := range tids {
+					approx.Push(packTID(tid), dists[i])
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		return ix.rerank(kern, query, k, approx.Results())
+	}
+	var predErr error
+	err = ix.scanBuckets(kern, query, probes, func(tid heap.TID, dist float32) {
+		if predErr != nil {
+			return
+		}
+		ok, err := pred(tid)
+		if err != nil {
+			predErr = err
+			return
+		}
+		if !ok {
+			return
+		}
+		approx.Push(packTID(tid), dist)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if predErr != nil {
+		return nil, predErr
+	}
+	return ix.rerank(kern, query, k, approx.Results())
+}
+
+// rerank re-fetches every quantized candidate's full-precision vector
+// from the heap and ranks the exact distances in a TopK(k). The
+// visibility check doubles as the executor's re-check: a candidate
+// whose heap tuple died since the code was written is skipped.
+func (ix *Index) rerank(kern vec.Kernel, query []float32, k int, cands []minheap.Item) ([]am.Result, error) {
+	pr := ix.ctx.Prof
+	tRerank := pr.Timer("sq8_rerank")
+	ts := tRerank.Start()
+	defer tRerank.Stop(ts)
+	top := minheap.NewTopK(k)
+	for _, it := range cands {
+		tid := unpackTID(it.ID)
+		v, ok, err := ix.ctx.Table.GetVectorVisible(tid, ix.ctx.VecCol)
+		if err != nil {
+			return nil, fmt.Errorf("pase/ivfsq8: re-rank fetch %v: %w", tid, err)
+		}
+		if !ok {
+			continue
+		}
+		top.Push(it.ID, kern.L2Sqr(query, v))
+	}
+	return itemsToResults(top.Results()), nil
+}
+
+// selectProbes ranks all centroids by full-precision distance and
+// returns the nprobe nearest bucket IDs — identical to ivfflat (probe
+// selection is not quantized).
+func (ix *Index) selectProbes(kern vec.Kernel, query []float32, nprobe int) []int32 {
+	d := int(ix.meta.Dim)
+	heap := minheap.NewTopK(nprobe)
+	for c := 0; c < int(ix.meta.NList); c++ {
+		heap.Push(int64(c), kern.L2Sqr(query, ix.centroidCache[c*d:(c+1)*d]))
+	}
+	items := heap.Results()
+	out := make([]int32, len(items))
+	for i, it := range items {
+		out[i] = int32(it.ID)
+	}
+	return out
+}
+
+// scanBuckets visits every code of the given buckets, invoking emit
+// with the entry's TID and its asymmetric distance to the query.
+func (ix *Index) scanBuckets(kern vec.Kernel, query []float32, probes []int32, emit func(heap.TID, float32)) error {
+	pr := ix.ctx.Prof
+	tDist := pr.Timer("fvec_L2sqr")
+	for _, cid := range probes {
+		err := ix.scanBucketRaw(cid, func(tid heap.TID, code []byte) {
+			ts := tDist.Start()
+			dist := kern.L2SqrSQ8(query, code, ix.sq)
+			tDist.Stop(ts)
+			emit(tid, dist)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pageScanScratch holds the reusable per-page views of a bucket scan:
+// parallel TID/norm/code slices refilled for each visited page, plus the
+// distance buffer the batch-scoring path writes into.
+type pageScanScratch struct {
+	tids  []heap.TID
+	codes [][]byte
+	norms []float32
+	dists []float32
+}
+
+// scanBucketPages walks one bucket's page chain through the buffer pool
+// and hands visit each page's live entries as parallel TID/code/norm
+// slices (norms are the stored code-side terms of the decomposed
+// distance). The code views alias the pinned page (held across the
+// callback) and the slices alias sc, so both are valid only for the
+// callback's duration.
+func (ix *Index) scanBucketPages(cid int32, sc *pageScanScratch, visit func(tids []heap.TID, codes [][]byte, norms []float32) error) error {
+	ctx := ix.ctx
+	pr := ctx.Prof
+	d := int(ix.meta.Dim)
+	tTuple := pr.Timer("tuple_access")
+	blk, off := ix.centroidLoc(int(cid))
+	ts := tTuple.Start()
+	cbuf, err := ctx.Pool.Pin(ctx.Rel, blk)
+	if err != nil {
+		tTuple.Stop(ts)
+		return err
+	}
+	centry, err := cbuf.Page().Item(off)
+	tTuple.Stop(ts)
+	if err != nil {
+		cbuf.Release()
+		return err
+	}
+	next := binary.LittleEndian.Uint32(centry[d*4:])
+	cbuf.Release()
+
+	for next != pase.InvalidBlk {
+		ts := tTuple.Start()
+		dbuf, err := ctx.Pool.Pin(ctx.Rel, next)
+		if err != nil {
+			tTuple.Stop(ts)
+			return err
+		}
+		pg := dbuf.Page()
+		n := pg.NumItems()
+		sc.tids = sc.tids[:0]
+		sc.codes = sc.codes[:0]
+		sc.norms = sc.norms[:0]
+		for i := uint16(1); i <= n; i++ {
+			item, err := pg.Item(i)
+			if err != nil {
+				if errors.Is(err, page.ErrDeadItem) {
+					continue // tombstoned entry: skip, reclaimed by Maintain
+				}
+				tTuple.Stop(ts)
+				dbuf.Release()
+				return err
+			}
+			sc.tids = append(sc.tids, heap.UnpackTID(item))
+			sc.norms = append(sc.norms, math.Float32frombits(binary.LittleEndian.Uint32(item[dataEntryHeaderSize:])))
+			sc.codes = append(sc.codes, item[dataEntryCodeOff:])
+		}
+		tTuple.Stop(ts)
+		if err := visit(sc.tids, sc.codes, sc.norms); err != nil {
+			dbuf.Release()
+			return err
+		}
+		next = pase.NextBlk(pg)
+		dbuf.Release()
+	}
+	return nil
+}
+
+// scanBucketRaw is the per-entry view of scanBucketPages, used by the
+// predicate path, which interleaves per-candidate filtering with
+// scoring and scores survivors with the direct solo form (the stored
+// norms go unused there). Each code view is valid only for emit's
+// duration.
+func (ix *Index) scanBucketRaw(cid int32, emit func(heap.TID, []byte)) error {
+	var sc pageScanScratch
+	return ix.scanBucketPages(cid, &sc, func(tids []heap.TID, codes [][]byte, _ []float32) error {
+		for i, tid := range tids {
+			emit(tid, codes[i])
+		}
+		return nil
+	})
+}
+
+// packTID squeezes a TID into an int64 for the heap item ID.
+func packTID(tid heap.TID) int64 {
+	return int64(tid.Blk)<<16 | int64(tid.Off)
+}
+
+func unpackTID(v int64) heap.TID {
+	return heap.TID{Blk: uint32(v >> 16), Off: uint16(v & 0xFFFF)}
+}
+
+func itemsToResults(items []minheap.Item) []am.Result {
+	out := make([]am.Result, len(items))
+	for i, it := range items {
+		out[i] = am.Result{TID: unpackTID(it.ID), Dist: it.Dist}
+	}
+	return out
+}

@@ -337,6 +337,12 @@ func multiExact(qs []*VectorQuery) ([][]am.Result, error) {
 	tbl := lead.tbl
 	schema := tbl.Schema()
 	filtered := lead.plan.strategy == FilterPre
+	// distance_kernel is part of the group key, so the lead's effective
+	// value is every member's.
+	kern, err := vec.ForName(lead.Params()[DistanceKernelSetting])
+	if err != nil {
+		return nil, err
+	}
 
 	tops := make([]*minheap.TopK, len(qs))
 	tids := make([][]heap.TID, len(qs))
@@ -346,7 +352,7 @@ func multiExact(qs []*VectorQuery) ([][]am.Result, error) {
 			q.s.lastFilter.strategy = FilterPre
 		}
 	}
-	err := tbl.Scan(func(tid heap.TID, tup []byte) (bool, error) {
+	err = tbl.Scan(func(tid heap.TID, tup []byte) (bool, error) {
 		var vals []any
 		var v []float32
 		for i, q := range qs {
@@ -373,7 +379,7 @@ func multiExact(qs []*VectorQuery) ([][]am.Result, error) {
 					return false, fmt.Errorf("sql: query vector has %d dims, column %q has %d", len(q.st.QueryVec), q.st.OrderCol, len(v))
 				}
 			}
-			tops[i].Push(int64(len(tids[i])), vec.L2Sqr(q.st.QueryVec, v))
+			tops[i].Push(int64(len(tids[i])), kern.L2Sqr(q.st.QueryVec, v))
 			tids[i] = append(tids[i], tid)
 		}
 		return true, nil

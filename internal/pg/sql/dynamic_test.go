@@ -11,7 +11,7 @@ import (
 // every registered AM must make deleted tuples invisible on every read
 // path, mirroring the delete-then-search anomaly class from the VDBMS
 // bug taxonomy.
-var dynamicAMs = []string{"ivfflat", "ivfpq", "hnsw", "pgv_ivfflat"}
+var dynamicAMs = []string{"ivfflat", "ivfpq", "ivfsq8", "hnsw", "pgv_ivfflat"}
 
 // dynIndex builds an index of the given AM over t(vec) with options
 // that make the small-n search as close to exhaustive as each AM
@@ -178,7 +178,7 @@ func TestDeleteAllThenVacuum(t *testing.T) {
 // the 0.5%-recall acceptance bound.
 func TestVacuumVsFreshRebuildParity(t *testing.T) {
 	const n, k = 150, 10
-	for _, am := range []string{"ivfflat", "hnsw"} {
+	for _, am := range []string{"ivfflat", "ivfsq8", "hnsw"} {
 		t.Run(am, func(t *testing.T) {
 			s := newSession(t)
 			loadVectors(t, s, n)
@@ -222,6 +222,7 @@ func TestVacuumVsFreshRebuildParity(t *testing.T) {
 				opts = "WITH (clusters = 8, sample_ratio = 1, seed = 1)"
 			}
 			mustExec(t, s, fmt.Sprintf("CREATE INDEX t2_idx ON t2 USING %s (vec) %s", am, opts))
+			mustExec(t, s, "SET nprobe = 8")
 
 			for _, q := range []string{"{0, 0, 0, 0}", "{40.3, 40.3, 0, 0}", "{149, 149, 0, 0}", "{75.5, 75.5, 1, 1}"} {
 				vac := resultIDs(mustExec(t, s, fmt.Sprintf(

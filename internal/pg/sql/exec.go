@@ -26,6 +26,20 @@ const BufferPartitionsSetting = "buffer_partitions"
 // rebuild). 0 disables auto-vacuum; VACUUM remains available manually.
 const VacuumThresholdSetting = "vacuum_threshold"
 
+// DistanceKernelSetting selects the distance kernel search paths score
+// candidates with: ref (bit-exact scalar baseline), unrolled
+// (cache-blocked generic Go, the default), or avx2 (assembly, amd64
+// hosts with the ISA; silently falls back to the default elsewhere).
+// Build, insert, and delete arithmetic is pinned to ref regardless —
+// bucket assignment and graph wiring must not depend on a session knob.
+const DistanceKernelSetting = "distance_kernel"
+
+// SQ8RerankSetting is the ivfsq8 re-rank multiplier β: the quantized
+// scan collects k·β candidates by asymmetric code distance, then the
+// top k are re-ranked against the full-precision heap tuples. 1 skips
+// no candidates but re-ranks exactly k.
+const SQ8RerankSetting = "sq8_rerank"
+
 // Setting describes one recognized session knob.
 type Setting struct {
 	Name    string
@@ -40,11 +54,13 @@ var knownSettings = []Setting{
 	{BatchMaxSetting, "32", "batched execution: max queries coalesced into one multi-query probe"},
 	{BatchWindowSetting, "0", "batched execution: coalescing window in microseconds (0 = off)"},
 	{BufferPartitionsSetting, "", "buffer-mapping partitions of the shared pool (1 = paper's single lock)"},
+	{DistanceKernelSetting, vec.DefaultKernelName, "distance kernel for search-path scoring: ref, unrolled, or avx2"},
 	{"efs", "200", "hnsw: search queue length"},
 	{FilterOverfetchSetting, "4", "filtered kNN: post-filter over-fetch multiplier (k' = k*alpha)"},
 	{FilterStrategySetting, "auto", "filtered kNN strategy: auto, pre, post, or intraversal"},
 	{"heap", "n", "ivfflat: top-k heap policy, n (PASE size-n, RC#6) or k (size-k)"},
 	{"nprobe", "20", "ivf: clusters probed per query"},
+	{SQ8RerankSetting, "4", "ivfsq8: re-rank multiplier beta (k*beta quantized candidates re-ranked at full precision)"},
 	{"threads", "1", "intra-query scan parallelism"},
 	{VacuumThresholdSetting, "0", "auto-vacuum when a table's dead-tuple fraction reaches this (0 = off)"},
 }
@@ -138,6 +154,25 @@ func ValidateSetting(name, value string) error {
 	case VacuumThresholdSetting:
 		if f, err := strconv.ParseFloat(value, 64); err != nil || f < 0 || f > 1 {
 			return fmt.Errorf("sql: SET %s expects a fraction between 0 and 1", VacuumThresholdSetting)
+		}
+	case DistanceKernelSetting:
+		// Any KNOWN kernel name is accepted regardless of what this host
+		// registered: a cluster router validates here and replays the SET
+		// onto shards whose hardware may differ, so avx2 must validate on
+		// a machine without the ISA (vec.ForName falls back at scan time).
+		ok := false
+		for _, name := range vec.KnownKernelNames() {
+			if value == name {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("sql: SET %s expects one of %s", DistanceKernelSetting, strings.Join(vec.KnownKernelNames(), ", "))
+		}
+	case SQ8RerankSetting:
+		if n, err := strconv.Atoi(value); err != nil || n < 1 || n > 64 {
+			return fmt.Errorf("sql: SET %s expects an integer between 1 and 64", SQ8RerankSetting)
 		}
 	}
 	return nil
@@ -525,10 +560,14 @@ func (s *Session) exactSearch(st *SelectStmt, tbl *heap.Table, vcol, k int, pred
 	if pred != nil {
 		s.lastFilter.strategy = FilterPre
 	}
+	kern, err := vec.ForName(s.settings[DistanceKernelSetting])
+	if err != nil {
+		return nil, err
+	}
 	schema := tbl.Schema()
 	top := minheap.NewTopK(k)
 	var tids []heap.TID
-	err := tbl.Scan(func(tid heap.TID, tup []byte) (bool, error) {
+	err = tbl.Scan(func(tid heap.TID, tup []byte) (bool, error) {
 		if pred != nil {
 			vals, err := schema.Decode(tup)
 			if err != nil {
@@ -545,7 +584,7 @@ func (s *Session) exactSearch(st *SelectStmt, tbl *heap.Table, vcol, k int, pred
 		if len(v) != len(st.QueryVec) {
 			return false, fmt.Errorf("sql: query vector has %d dims, column %q has %d", len(st.QueryVec), st.OrderCol, len(v))
 		}
-		top.Push(int64(len(tids)), vec.L2Sqr(st.QueryVec, v))
+		top.Push(int64(len(tids)), kern.L2Sqr(st.QueryVec, v))
 		tids = append(tids, tid)
 		return true, nil
 	})
@@ -743,6 +782,12 @@ func (s *Session) runExplain(st *ExplainStmt) (*Result, error) {
 				fmt.Sprintf("    -> Seq Scan on %s", sel.Table),
 			)
 			filterLine("       ")
+		}
+		// Report the kernel that will actually score distances: ForName
+		// falls back to the default when the requested kernel is known
+		// but not registered on this host (avx2 without AVX2).
+		if kern, err := vec.ForName(s.settings[DistanceKernelSetting]); err == nil {
+			lines = append(lines, fmt.Sprintf("Kernel: %s", kern.Name()))
 		}
 		if vq != nil {
 			if ok, reason := vq.Batchable(); ok {

@@ -19,7 +19,6 @@ import (
 	paseivf "vecstudy/internal/pase/ivfflat"
 	"vecstudy/internal/pg/am"
 	"vecstudy/internal/pg/heap"
-	"vecstudy/internal/vec"
 )
 
 func init() {
@@ -69,12 +68,16 @@ func (ix *Index) Search(query []float32, k int, params map[string]string) ([]am.
 	if err != nil {
 		return nil, err
 	}
+	kern, err := pase.KernelOpt(params)
+	if err != nil {
+		return nil, err
+	}
 	type cand struct {
 		tid  heap.TID
 		dist float32
 	}
 	cands := make([]cand, 0, 4096)
-	err = ix.inner.ScanProbes(query, nprobe, func(tid heap.TID, dist float32) {
+	err = ix.inner.ScanProbes(kern, query, nprobe, func(tid heap.TID, dist float32) {
 		cands = append(cands, cand{tid: tid, dist: dist})
 	})
 	if err != nil {
@@ -95,7 +98,7 @@ func (ix *Index) Search(query []float32, k int, params map[string]string) ([]am.
 		if !ok {
 			continue
 		}
-		out = append(out, am.Result{TID: cands[i].tid, Dist: vec.L2SqrRef(query, v)})
+		out = append(out, am.Result{TID: cands[i].tid, Dist: kern.L2Sqr(query, v)})
 	}
 	return out, nil
 }

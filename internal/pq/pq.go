@@ -87,14 +87,19 @@ func (q *Quantizer) Codeword(m, j int) []float32 {
 	return q.Codebooks[base : base+q.DSub]
 }
 
+// refKern pins codeword assignment and naive table construction to the
+// ref kernel: codes written at build time must not depend on which
+// optimized kernels this host registered.
+var refKern = vec.Ref()
+
 // Encode writes the M-byte code of x into code. Both slices must have the
 // right lengths (len(x)=D, len(code)=M).
 func (q *Quantizer) Encode(x []float32, code []byte) {
 	for m := 0; m < q.M; m++ {
 		sub := x[m*q.DSub : (m+1)*q.DSub]
-		best, bestD := 0, vec.L2Sqr(sub, q.Codeword(m, 0))
+		best, bestD := 0, refKern.L2Sqr(sub, q.Codeword(m, 0))
 		for j := 1; j < q.KSub; j++ {
-			d := vec.L2Sqr(sub, q.Codeword(m, j))
+			d := refKern.L2Sqr(sub, q.Codeword(m, j))
 			if d < bestD {
 				best, bestD = j, d
 			}
@@ -130,7 +135,7 @@ func (q *Quantizer) DistanceTableNaive(x []float32, tab []float32) {
 		sub := x[m*q.DSub : (m+1)*q.DSub]
 		row := tab[m*q.KSub : (m+1)*q.KSub]
 		for j := 0; j < q.KSub; j++ {
-			row[j] = vec.L2SqrRef(sub, q.Codeword(m, j))
+			row[j] = refKern.L2Sqr(sub, q.Codeword(m, j))
 		}
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"vecstudy/internal/batch"
 	"vecstudy/internal/pg/db"
 	"vecstudy/internal/pg/sql"
+	"vecstudy/internal/vec"
 	"vecstudy/internal/wire"
 )
 
@@ -109,6 +110,8 @@ func (b dbBackend) StatsRows() [][]any {
 	}
 	ms := b.d.Mutations()
 	return append(rows,
+		[]any{"kernel_default", vec.Default().Name()},
+		[]any{"kernels_registered", strings.Join(vec.RegisteredKernelNames(), ",")},
 		[]any{"dead_tuples", dead},
 		[]any{"tuples_deleted", ms.TuplesDeleted},
 		[]any{"tuples_updated", ms.TuplesUpdated},

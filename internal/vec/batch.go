@@ -7,20 +7,23 @@ import (
 	"vecstudy/internal/blas"
 )
 
-// BatchDistancer computes all pairwise squared L2 distances between a set
-// of query rows and a set of base rows. The two implementations correspond
-// to the paper's RC#1:
+// Pairwise squared-L2 scoring for K-means training. The two private
+// implementations correspond to the paper's RC#1:
 //
-//   - DistancesL2Naive: the PASE approach — one scalar distance loop per
+//   - distancesL2Naive: the PASE approach — one scalar distance loop per
 //     (query, base) pair.
-//   - DistancesL2Decomposed: the Faiss approach — decompose
+//   - distancesL2Decomposed: the Faiss approach — decompose
 //     ‖x−c‖² = ‖x‖² + ‖c‖² − 2·x·c and compute all inner products at once
 //     with a blocked SGEMM, reusing precomputed norms.
+//
+// Both are implementation details of AssignBatch: search-path bucket
+// scoring goes through the Kernel interface (kernel.go) instead, so
+// there is exactly one way to score a bucket.
 
-// DistancesL2Naive writes ‖x_i − y_j‖² into out[i*ny+j] for every pair,
+// distancesL2Naive writes ‖x_i − y_j‖² into out[i*ny+j] for every pair,
 // using the reference scalar kernel. xs is nx×d, ys is ny×d, both
 // row-major. out must have length ≥ nx*ny.
-func DistancesL2Naive(xs []float32, nx int, ys []float32, ny, d int, out []float32) {
+func distancesL2Naive(xs []float32, nx int, ys []float32, ny, d int, out []float32) {
 	for i := 0; i < nx; i++ {
 		x := xs[i*d : (i+1)*d]
 		row := out[i*ny : (i+1)*ny]
@@ -30,8 +33,8 @@ func DistancesL2Naive(xs []float32, nx int, ys []float32, ny, d int, out []float
 	}
 }
 
-// DecomposedOpts controls DistancesL2Decomposed.
-type DecomposedOpts struct {
+// decomposedOpts controls distancesL2Decomposed.
+type decomposedOpts struct {
 	// Threads is the parallelism for the SGEMM call; ≤ 0 means all CPUs,
 	// 1 forces serial execution (the paper's single-thread default).
 	Threads int
@@ -41,11 +44,11 @@ type DecomposedOpts struct {
 	YNorms2 []float32
 }
 
-// DistancesL2Decomposed writes ‖x_i − y_j‖² into out[i*ny+j] using the
+// distancesL2Decomposed writes ‖x_i − y_j‖² into out[i*ny+j] using the
 // norm decomposition plus blocked SGEMM. Results can differ from the naive
 // kernel by small floating-point error; callers that need exact agreement
 // (tests) should use a tolerance.
-func DistancesL2Decomposed(xs []float32, nx int, ys []float32, ny, d int, out []float32, opts DecomposedOpts) {
+func distancesL2Decomposed(xs []float32, nx int, ys []float32, ny, d int, out []float32, opts decomposedOpts) {
 	if nx == 0 || ny == 0 {
 		return
 	}
@@ -114,7 +117,7 @@ func AssignBatch(xs []float32, nx int, ys []float32, ny, d int, assign []int32, 
 		buf := make([]float32, batch*ny)
 		for b := lo; b < hi; b += batch {
 			bn := min(batch, hi-b)
-			DistancesL2Decomposed(xs[b*d:(b+bn)*d], bn, ys, ny, d, buf, DecomposedOpts{Threads: 1, YNorms2: yn})
+			distancesL2Decomposed(xs[b*d:(b+bn)*d], bn, ys, ny, d, buf, decomposedOpts{Threads: 1, YNorms2: yn})
 			for i := 0; i < bn; i++ {
 				j, v := Argmin(buf[i*ny : (i+1)*ny])
 				assign[b+i] = int32(j)

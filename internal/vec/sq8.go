@@ -1,0 +1,163 @@
+package vec
+
+// SQ8 is a trained per-dimension scalar quantizer: each float32
+// coordinate is mapped onto a 256-step uniform grid between the
+// dimension's observed minimum and maximum, so a d-dimensional vector
+// stores in d bytes instead of 4d — 4× smaller index pages, 4× fewer
+// buffer-pool pins per bucket scan (the paper's RC#2 attacked from the
+// data side).
+//
+// Distances against codes are asymmetric: the query stays full
+// precision and each code byte is decoded on the fly,
+// r_i = Min_i + Step_i·code_i, inside the kernel (Kernel.L2SqrSQ8).
+// Because the decode expression is identical everywhere, for any
+// kernel K the approximate distance K.L2SqrSQ8(q, Encode(x), sq) is
+// bit-equal to K.L2Sqr(q, Decode(Encode(x))) computed with the same
+// loop structure — the quantization error is entirely in the grid
+// snap, bounded by Step_i/2 per dimension (see Encode).
+type SQ8 struct {
+	// Min is the per-dimension grid origin.
+	Min []float32
+	// Step is the per-dimension grid pitch, (max−min)/255. A dimension
+	// that was constant in the training set has Step 0 and always
+	// decodes to Min.
+	Step []float32
+}
+
+// Dim returns the quantizer's dimensionality.
+func (s *SQ8) Dim() int { return len(s.Min) }
+
+// SQ8FromMinMax builds a quantizer from per-dimension bounds.
+// len(mins) must equal len(maxs); maxs[i] < mins[i] is treated as a
+// constant dimension.
+func SQ8FromMinMax(mins, maxs []float32) *SQ8 {
+	d := len(mins)
+	s := &SQ8{Min: make([]float32, d), Step: make([]float32, d)}
+	copy(s.Min, mins)
+	for i := 0; i < d; i++ {
+		if maxs[i] > mins[i] {
+			s.Step[i] = (maxs[i] - mins[i]) / 255
+		}
+	}
+	return s
+}
+
+// Encode quantizes x onto the grid, writing one byte per dimension into
+// code (len(code) ≥ Dim()). Coordinates are rounded to the nearest grid
+// point, so for x inside the trained range the snap error per dimension
+// is at most Step_i/2; out-of-range coordinates clamp to the grid edge
+// (inserts after train may exceed the observed bounds).
+func (s *SQ8) Encode(x []float32, code []byte) {
+	for i := range x {
+		st := s.Step[i]
+		if st == 0 {
+			code[i] = 0
+			continue
+		}
+		v := (x[i] - s.Min[i]) / st
+		if v <= 0 {
+			code[i] = 0
+			continue
+		}
+		if v >= 255 {
+			code[i] = 255
+			continue
+		}
+		code[i] = uint8(v + 0.5)
+	}
+}
+
+// DecomposeQuery computes the query-side terms of the decomposed
+// asymmetric distance. With u_i = q_i − Min_i, the identity
+//
+//	‖q − decode(c)‖² = ‖u‖² − 2·Σ u_i·Step_i·c_i + Σ (Step_i·c_i)²
+//
+// splits the per-candidate work into one uint8 dot product against
+// w_i = u_i·Step_i (Kernel.DotSQ8Batch) plus two norms that never touch
+// the scan loop: the query norm ‖u‖² returned here, and the code norm
+// Σ(Step_i·c_i)² computed once at encode time (CodeNorm) and stored
+// beside the code. It is the paper's RC#1 norm-decomposition trick
+// applied to quantized scoring. w must hold ≥ len(q) floats.
+//
+// The transform is sequential scalar, so for a fixed query the outputs
+// are bit-identical wherever they are computed — solo and batched scans
+// derive the same w and unorm and therefore the same candidate ranks.
+// The reassembled distance rounds differently from the direct
+// subtract-square form (cancellation between the three terms), which is
+// why decomposed scoring belongs only on re-ranked paths: the k·β
+// pre-selection tolerates the approximation and the re-rank restores
+// exact distances.
+func (s *SQ8) DecomposeQuery(q []float32, w []float32) (unorm float32) {
+	mn := s.Min[:len(q)]
+	st := s.Step[:len(q)]
+	w = w[:len(q)]
+	for i, qv := range q {
+		u := qv - mn[i]
+		w[i] = u * st[i]
+		unorm += u * u
+	}
+	return unorm
+}
+
+// CodeNorm computes Σ (Step_i·c_i)², the code-side norm term of the
+// decomposed asymmetric distance (see DecomposeQuery), as one
+// sequential scalar float32 chain. Access methods compute it at encode
+// time and persist it beside the code bytes, which makes it part of the
+// on-disk layout: like bucket assignment, it must be kernel-independent,
+// so there is deliberately no Kernel method for it.
+func (s *SQ8) CodeNorm(code []byte) float32 {
+	st := s.Step[:len(code)]
+	var norm float32
+	for i, c := range code {
+		t := st[i] * float32(c)
+		norm += t * t
+	}
+	return norm
+}
+
+// Decode reconstructs the grid point a code names, writing into out
+// (len(out) ≥ Dim()). It returns out[:Dim()].
+func (s *SQ8) Decode(code []byte, out []float32) []float32 {
+	d := s.Dim()
+	out = out[:d]
+	for i := 0; i < d; i++ {
+		out[i] = s.Min[i] + s.Step[i]*float32(code[i])
+	}
+	return out
+}
+
+// SQ8Trainer accumulates per-dimension min/max over the training rows.
+type SQ8Trainer struct {
+	mins, maxs []float32
+	n          int
+}
+
+// NewSQ8Trainer returns a trainer for d-dimensional vectors.
+func NewSQ8Trainer(d int) *SQ8Trainer {
+	return &SQ8Trainer{mins: make([]float32, d), maxs: make([]float32, d)}
+}
+
+// Observe folds one vector into the running bounds.
+func (t *SQ8Trainer) Observe(x []float32) {
+	if t.n == 0 {
+		copy(t.mins, x)
+		copy(t.maxs, x)
+		t.n++
+		return
+	}
+	for i, v := range x {
+		if v < t.mins[i] {
+			t.mins[i] = v
+		}
+		if v > t.maxs[i] {
+			t.maxs[i] = v
+		}
+	}
+	t.n++
+}
+
+// N reports how many vectors have been observed.
+func (t *SQ8Trainer) N() int { return t.n }
+
+// Finish freezes the bounds into a quantizer.
+func (t *SQ8Trainer) Finish() *SQ8 { return SQ8FromMinMax(t.mins, t.maxs) }

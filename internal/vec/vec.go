@@ -7,9 +7,13 @@
 //
 //   - "reference" kernels (L2SqrRef) are straightforward scalar loops,
 //     mirroring PASE's fvec_L2sqr_ref;
-//   - "optimized" kernels (L2Sqr, DistancesL2Decomposed) use loop unrolling
-//     and the ‖x−c‖² = ‖x‖² + ‖c‖² − 2·x·c decomposition with batched
-//     matrix multiplication, mirroring Faiss.
+//   - "optimized" kernels (L2Sqr, the private decomposed path behind
+//     AssignBatch) use loop unrolling and the ‖x−c‖² = ‖x‖² + ‖c‖² − 2·x·c
+//     decomposition with batched matrix multiplication, mirroring Faiss.
+//
+// Search-path code does not call these directly: every bucket scan and
+// probe selection dispatches through the Kernel interface (kernel.go),
+// selectable per session with SET distance_kernel.
 package vec
 
 import (

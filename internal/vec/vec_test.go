@@ -168,10 +168,10 @@ func TestDistancesL2NaiveVsDecomposed(t *testing.T) {
 	nx, ny, d := 17, 23, 48
 	xs, ys := randVec(rng, nx*d), randVec(rng, ny*d)
 	naive := make([]float32, nx*ny)
-	DistancesL2Naive(xs, nx, ys, ny, d, naive)
+	distancesL2Naive(xs, nx, ys, ny, d, naive)
 	for _, threads := range []int{1, 4} {
 		dec := make([]float32, nx*ny)
-		DistancesL2Decomposed(xs, nx, ys, ny, d, dec, DecomposedOpts{Threads: threads})
+		distancesL2Decomposed(xs, nx, ys, ny, d, dec, decomposedOpts{Threads: threads})
 		for i := range naive {
 			if !almostEqual(float64(naive[i]), float64(dec[i]), 1e-3) {
 				t.Fatalf("threads=%d: pair %d: naive %v vs decomposed %v", threads, i, naive[i], dec[i])
@@ -187,8 +187,8 @@ func TestDistancesL2DecomposedWithCachedNorms(t *testing.T) {
 	norms := Norms2(ys, ny, d, make([]float32, ny))
 	a := make([]float32, nx*ny)
 	b := make([]float32, nx*ny)
-	DistancesL2Decomposed(xs, nx, ys, ny, d, a, DecomposedOpts{Threads: 1})
-	DistancesL2Decomposed(xs, nx, ys, ny, d, b, DecomposedOpts{Threads: 1, YNorms2: norms})
+	distancesL2Decomposed(xs, nx, ys, ny, d, a, decomposedOpts{Threads: 1})
+	distancesL2Decomposed(xs, nx, ys, ny, d, b, decomposedOpts{Threads: 1, YNorms2: norms})
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatalf("cached norms changed result at %d: %v vs %v", i, a[i], b[i])
