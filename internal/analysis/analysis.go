@@ -49,6 +49,12 @@ type Pass struct {
 	// Report delivers one diagnostic.
 	Report func(Diagnostic)
 
+	// Summaries is the module-wide interprocedural summary table (see
+	// summary.go), built once over every loaded package and shared by
+	// all passes. May be nil, in which case analyzers fall back to
+	// per-function reasoning.
+	Summaries *Summaries
+
 	directives map[string]map[int][]string // filename -> line -> directive names
 }
 

@@ -53,14 +53,22 @@ func RunPath(t *testing.T, dir string, a *analysis.Analyzer, fixture, importPath
 
 	expects := collectWants(t, pkg)
 
+	// Fixtures get the same interprocedural context as a real run: a
+	// summary table over the fixture package itself, so multi-function
+	// escape/transfer/borrow cases resolve through their own helpers.
+	summaries := analysis.BuildSummaries([]analysis.SummaryInput{
+		{Fset: pkg.Fset, Files: pkg.Files, Info: pkg.Info, Pkg: pkg.Types},
+	})
+
 	var diags []analysis.Diagnostic
 	pass := &analysis.Pass{
-		Analyzer: a,
-		Fset:     pkg.Fset,
-		Files:    pkg.Files,
-		Pkg:      pkg.Types,
-		Info:     pkg.Info,
-		Report:   func(d analysis.Diagnostic) { diags = append(diags, d) },
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		Info:      pkg.Info,
+		Summaries: summaries,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
 	}
 	if err := a.Run(pass); err != nil {
 		t.Fatalf("analyzer %s: %v", a.Name, err)

@@ -21,6 +21,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -154,12 +155,18 @@ func (l *Loader) lookup(path string) (io.ReadCloser, error) {
 // sorted by import path. Test files are excluded: the analyzers guard
 // production invariants, and fixtures with deliberate violations live
 // in testdata where go list never looks.
+//
+// Packages are type-checked in parallel. The shared FileSet and the
+// export-data map are safe for concurrent use, but the gc importer's
+// internal package cache is not, so each worker gets its own importer
+// instance (they still share the export lookup, so each export file is
+// still located only once).
 func (l *Loader) Patterns(patterns ...string) ([]*Package, error) {
 	pkgs, err := l.goList(append([]string{"--"}, patterns...)...)
 	if err != nil {
 		return nil, err
 	}
-	var out []*Package
+	var todo []listedPkg
 	for _, p := range pkgs {
 		if p.DepOnly {
 			continue
@@ -167,15 +174,44 @@ func (l *Loader) Patterns(patterns ...string) ([]*Package, error) {
 		if p.Error != nil {
 			return nil, fmt.Errorf("load: %s: %s", p.ImportPath, p.Error.Err)
 		}
-		files := make([]string, len(p.GoFiles))
-		for i, f := range p.GoFiles {
-			files[i] = filepath.Join(p.Dir, f)
-		}
-		pkg, err := l.check(p.ImportPath, p.Dir, files)
+		todo = append(todo, p)
+	}
+
+	out := make([]*Package, len(todo))
+	errs := make([]error, len(todo))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			imp := importer.ForCompiler(l.fset, "gc", l.lookup).(types.ImporterFrom)
+			for i := range next {
+				p := todo[i]
+				files := make([]string, len(p.GoFiles))
+				for j, f := range p.GoFiles {
+					files[j] = filepath.Join(p.Dir, f)
+				}
+				out[i], errs[i] = l.checkWith(imp, p.ImportPath, p.Dir, files)
+			}
+		}()
+	}
+	for i := range todo {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, pkg)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
 	return out, nil
@@ -204,8 +240,15 @@ func (l *Loader) Dir(dir, importPath string) (*Package, error) {
 	return l.check(importPath, dir, files)
 }
 
-// check parses and type-checks one package from source.
+// check parses and type-checks one package from source with the
+// loader's shared importer (single-threaded entry points only).
 func (l *Loader) check(importPath, dir string, filenames []string) (*Package, error) {
+	return l.checkWith(l.imp, importPath, dir, filenames)
+}
+
+// checkWith parses and type-checks one package from source using the
+// given importer, so parallel callers can keep importer state private.
+func (l *Loader) checkWith(imp types.ImporterFrom, importPath, dir string, filenames []string) (*Package, error) {
 	var files []*ast.File
 	for _, name := range filenames {
 		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
@@ -223,7 +266,7 @@ func (l *Loader) check(importPath, dir string, filenames []string) (*Package, er
 	}
 	var typeErrs []error
 	conf := types.Config{
-		Importer: l.imp,
+		Importer: imp,
 		Error:    func(err error) { typeErrs = append(typeErrs, err) },
 	}
 	tpkg, err := conf.Check(importPath, l.fset, files, info)

@@ -1,0 +1,12 @@
+package pagealias_test
+
+import (
+	"testing"
+
+	"vecstudy/internal/analysis/analysistest"
+	"vecstudy/internal/analysis/pagealias"
+)
+
+func TestPageAlias(t *testing.T) {
+	analysistest.Run(t, ".", pagealias.Analyzer, "alias")
+}

@@ -16,14 +16,25 @@
 //     a non-nil error, so there is nothing to release there);
 //   - buf.Release(), directly or deferred, or inside a deferred
 //     closure, ends the obligation;
-//   - passing buf to another function, storing it in a composite
-//     literal or another variable, sending it on a channel, or
-//     capturing it in a closure transfers ownership — the analyzer
-//     stops tracking rather than guessing the callee's behaviour;
+//   - passing buf to another function consults that function's
+//     interprocedural summary (Pass.Summaries): a callee that releases
+//     the parameter on every path discharges the obligation, a callee
+//     that merely borrows it leaves the obligation with the caller —
+//     so forgetting to release after a borrowing helper is now a
+//     finding, not a silent hand-off — and only a callee that stores or
+//     forwards the buffer (or has no summary) transfers ownership;
+//   - storing buf in a composite literal or another variable, sending
+//     it on a channel, or capturing it in a closure transfers
+//     ownership — the analyzer stops tracking rather than guessing;
 //   - Page, Block, MarkDirty and Release are borrows, not transfers;
 //   - returning buf is only legal from a function marked
 //     //vetvec:ownership-transfer, the documented escape hatch for
-//     constructors that hand the pin to their caller;
+//     constructors that hand the pin to their caller — and the
+//     directive itself is checked against the summary: a marked
+//     function that never actually returns a carried pin is reported
+//     as stale;
+//   - calling a transferring function creates an obligation in the
+//     caller, exactly as Pool.Pin does;
 //   - a buffer acquired inside a loop must be resolved by the end of
 //     the iteration (or before break/continue), otherwise the next
 //     iteration overwrites the variable and the pin leaks.
@@ -62,6 +73,7 @@ func run(pass *analysis.Pass) error {
 			switch fn := n.(type) {
 			case *ast.FuncDecl:
 				if fn.Body != nil {
+					checkStaleTransfer(pass, fn)
 					analyzeFunc(pass, fn, fn.Body)
 				}
 			case *ast.FuncLit:
@@ -71,6 +83,27 @@ func run(pass *analysis.Pass) error {
 		})
 	}
 	return nil
+}
+
+// checkStaleTransfer verifies //vetvec:ownership-transfer against the
+// interprocedural summary: a marked function that never returns a
+// carried pin would make callers track an obligation that does not
+// exist (or, worse, double-release), so the directive must go.
+func checkStaleTransfer(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if !pass.FuncDirective(fd, TransferDirective) {
+		return
+	}
+	fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	sum := pass.Summaries.Lookup(fn)
+	if sum == nil {
+		return // no summary (framework self-run): trust the directive
+	}
+	if !sum.TransfersPin {
+		pass.Reportf(fd.Pos(), "function is marked //vetvec:%s but never returns a pinned buffer: stale directive", TransferDirective)
+	}
 }
 
 // owned records one live pin obligation.
@@ -168,9 +201,9 @@ func (w *walker) walkStmt(stmt ast.Stmt, s state) (state, bool) {
 				delete(s, v)
 				return s, false
 			}
-			if kind := acquireKind(w.pass.Info, call); kind != "" {
+			if acq := w.acquireOf(call); acq != nil {
 				// Result dropped on the floor: the pin can never be released.
-				w.pass.Reportf(call.Pos(), "result of %s is discarded: the pinned buffer can never be released", kind)
+				w.pass.Reportf(call.Pos(), "result of %s is discarded: the pinned buffer can never be released", acq.kind)
 				return s, false
 			}
 		}
@@ -375,16 +408,22 @@ func (w *walker) checkLoopEnd(s state, pos token.Pos) {
 
 // handleAssign tracks acquisitions and release-by-escape.
 func (w *walker) handleAssign(st *ast.AssignStmt, s state) {
-	// Acquisition: buf, err := pool.Pin(...) / buf, blk, err := pool.NewPage(...)
+	// Acquisition: buf, err := pool.Pin(...), buf, blk, err :=
+	// pool.NewPage(...), or a call to a function whose summary says it
+	// transfers a pinned buffer to its caller.
 	if len(st.Rhs) == 1 {
 		if call, ok := st.Rhs[0].(*ast.CallExpr); ok {
-			if kind := acquireKind(w.pass.Info, call); kind != "" {
+			if acq := w.acquireOf(call); acq != nil {
 				w.scanEscapes(call, s) // args may carry owned values
-				if id, ok := st.Lhs[0].(*ast.Ident); ok && id.Name == "_" {
-					w.pass.Reportf(call.Pos(), "result of %s is discarded: the pinned buffer can never be released", kind)
+				bufLhs := st.Lhs[0]
+				if acq.bufIdx < len(st.Lhs) {
+					bufLhs = st.Lhs[acq.bufIdx]
+				}
+				if id, ok := bufLhs.(*ast.Ident); ok && id.Name == "_" {
+					w.pass.Reportf(call.Pos(), "result of %s is discarded: the pinned buffer can never be released", acq.kind)
 					return
 				}
-				bufVar := identVar(w.pass.Info, st.Lhs[0])
+				bufVar := identVar(w.pass.Info, bufLhs)
 				if bufVar == nil {
 					return
 				}
@@ -446,7 +485,10 @@ func (w *walker) handleDefer(st *ast.DeferStmt, s state) {
 // scanEscapes removes from s every owned variable that escapes through
 // expr: call arguments, composite literals, channel values, address-of,
 // closure captures. Borrow-method calls on the variable itself do not
-// count.
+// count, and calls to summarized callees resolve per-parameter: a
+// releasing callee discharges the obligation, a borrowing callee keeps
+// it with the caller, and only an escaping (or unsummarized) callee
+// transfers ownership.
 func (w *walker) scanEscapes(expr ast.Expr, s state) {
 	if expr == nil || len(s) == 0 {
 		return
@@ -467,6 +509,32 @@ func (w *walker) scanEscapes(expr ast.Expr, s state) {
 						return false
 					}
 				}
+			}
+			// Summarized callee: resolve each owned argument by the
+			// callee's per-parameter mode instead of assuming hand-off.
+			if sum := w.pass.Summaries.Callee(w.pass.Info, node); sum != nil {
+				args := analysis.CallArgs(w.pass.Info, node)
+				for i, a := range args {
+					if v := identVar(w.pass.Info, a); v != nil {
+						if _, owned := s[v]; owned {
+							mode := analysis.BufUnknown
+							if i < len(sum.Bufs) {
+								mode = sum.Bufs[i]
+							}
+							switch mode {
+							case analysis.BufReleases:
+								delete(s, v) // the callee releases on every path
+							case analysis.BufBorrows:
+								// obligation stays with this function
+							default:
+								delete(s, v) // escapes or unknown: ownership transfers
+							}
+							continue
+						}
+					}
+					w.scanEscapes(a, s)
+				}
+				return false
 			}
 			// Any owned value used as an argument (or as a non-borrow
 			// receiver) is handed off.
@@ -495,16 +563,39 @@ func (w *walker) scanEscapes(expr ast.Expr, s state) {
 
 // --- recognizers ------------------------------------------------------------
 
-// acquireKind reports whether call is Pool.Pin or Pool.NewPage, naming
-// which.
-func acquireKind(info *types.Info, call *ast.CallExpr) string {
+// acquisition describes a call that hands its caller a pinned buffer.
+type acquisition struct {
+	kind   string // what acquired it, for messages
+	bufIdx int    // index of the *Buf among the call's results
+}
+
+// acquireOf recognizes calls that create a release obligation for the
+// caller: Pool.Pin, Pool.NewPage, and any function whose summary shows
+// it returns a carried pin (the checked form of ownership-transfer).
+func (w *walker) acquireOf(call *ast.CallExpr) *acquisition {
+	info := w.pass.Info
 	if analysis.IsMethod(info, call, PoolPath, "Pool", "Pin") {
-		return "buffer.Pool.Pin"
+		return &acquisition{kind: "buffer.Pool.Pin"}
 	}
 	if analysis.IsMethod(info, call, PoolPath, "Pool", "NewPage") {
-		return "buffer.Pool.NewPage"
+		return &acquisition{kind: "buffer.Pool.NewPage"}
 	}
-	return ""
+	fn := analysis.StaticCallee(info, call)
+	if fn == nil {
+		return nil
+	}
+	sum := w.pass.Summaries.Lookup(fn)
+	if sum == nil || !sum.TransfersPin {
+		return nil
+	}
+	sig := fn.Type().(*types.Signature)
+	for i := 0; i < sig.Results().Len(); i++ {
+		if ptr, ok := sig.Results().At(i).Type().(*types.Pointer); ok &&
+			analysis.NamedType(ptr.Elem(), PoolPath, "Buf") {
+			return &acquisition{kind: fn.Name(), bufIdx: i}
+		}
+	}
+	return nil
 }
 
 // releasedVar returns the variable whose pin call releases, if call is

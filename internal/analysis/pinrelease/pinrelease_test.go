@@ -10,3 +10,10 @@ import (
 func TestPinRelease(t *testing.T) {
 	analysistest.Run(t, ".", pinrelease.Analyzer, "pin")
 }
+
+// TestPinReleaseInterprocedural exercises the summary-driven side:
+// release/borrow/escape callees, checked //vetvec:ownership-transfer
+// acquisition, and stale-directive detection.
+func TestPinReleaseInterprocedural(t *testing.T) {
+	analysistest.Run(t, ".", pinrelease.Analyzer, "interpin")
+}

@@ -1,0 +1,142 @@
+// Package interpin is the interprocedural pinrelease fixture: release
+// obligations resolved through callee summaries (release / borrow /
+// escape / checked transfer) instead of the old trusted blanket
+// hand-off at every call boundary.
+package interpin
+
+import "vecstudy/internal/pg/buffer"
+
+// releaseIt releases its argument on every path (summary: BufReleases).
+func releaseIt(b *buffer.Buf) { b.Release() }
+
+// borrowIt only reads its argument (summary: BufBorrows).
+func borrowIt(b *buffer.Buf) uint32 { return b.Block() }
+
+// releaseVia discharges transitively: its own summary only becomes
+// BufReleases once releaseIt's has converged in the fixpoint.
+func releaseVia(b *buffer.Buf) { releaseIt(b) }
+
+// open is the checked transfer shape: the summary proves the pin
+// travels to the caller, so callers inherit the obligation.
+//
+//vetvec:ownership-transfer
+func open(p *buffer.Pool, rel buffer.RelID) (*buffer.Buf, error) {
+	return p.Pin(rel, 0)
+}
+
+// --- violations -------------------------------------------------------------
+
+// borrowedNotReleased: a borrowing callee does NOT discharge the pin —
+// the obligation stays here and no path releases it.
+func borrowedNotReleased(p *buffer.Pool, rel buffer.RelID) (uint32, error) {
+	buf, err := p.Pin(rel, 0) // want "pinned buffer buf is not released on every path"
+	if err != nil {
+		return 0, err
+	}
+	return borrowIt(buf), nil
+}
+
+// fromOpenLeak: the obligation created by a transfer callee is tracked
+// exactly like a direct Pin.
+func fromOpenLeak(p *buffer.Pool, rel buffer.RelID) error {
+	buf, err := open(p, rel) // want "pinned buffer buf is not released on every path"
+	if err != nil {
+		return err
+	}
+	if buf.Block() == 9 {
+		return nil // pin leaks here
+	}
+	buf.Release()
+	return nil
+}
+
+// fromOpenDiscarded: dropping a transfer callee's buffer result loses
+// the pin just like discarding Pool.Pin's.
+func fromOpenDiscarded(p *buffer.Pool, rel buffer.RelID) error {
+	_, err := open(p, rel) // want "result of open is discarded"
+	return err
+}
+
+// reexported forwards an open()'s pin to its own caller without
+// declaring the transfer.
+func reexported(p *buffer.Pool, rel buffer.RelID) (*buffer.Buf, error) {
+	buf, err := open(p, rel) // want "returned without a //vetvec:ownership-transfer directive"
+	if err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// stale promises a transfer its body never performs: the summary shows
+// no pinned buffer reaches the caller.
+//
+//vetvec:ownership-transfer
+func stale(p *buffer.Pool, rel buffer.RelID) error { // want "stale directive"
+	buf, err := p.Pin(rel, 0)
+	if err != nil {
+		return err
+	}
+	buf.Release()
+	return nil
+}
+
+// --- must not flag ----------------------------------------------------------
+
+// discharged: a releasing callee satisfies the obligation.
+func discharged(p *buffer.Pool, rel buffer.RelID) error {
+	buf, err := p.Pin(rel, 0)
+	if err != nil {
+		return err
+	}
+	releaseIt(buf)
+	return nil
+}
+
+// transitive: the discharge resolves two summary hops deep.
+func transitive(p *buffer.Pool, rel buffer.RelID) error {
+	buf, err := p.Pin(rel, 0)
+	if err != nil {
+		return err
+	}
+	releaseVia(buf)
+	return nil
+}
+
+// borrowedThenReleased: the borrow leaves the obligation here and the
+// later Release satisfies it — a borrowing callee must not be treated
+// as a hand-off (that would hide the double-release if it released).
+func borrowedThenReleased(p *buffer.Pool, rel buffer.RelID) (uint32, error) {
+	buf, err := p.Pin(rel, 0)
+	if err != nil {
+		return 0, err
+	}
+	n := borrowIt(buf)
+	buf.Release()
+	return n, nil
+}
+
+// fromOpenOK: a transfer-acquired pin released normally.
+func fromOpenOK(p *buffer.Pool, rel buffer.RelID) (uint32, error) {
+	buf, err := open(p, rel)
+	if err != nil {
+		return 0, err
+	}
+	n := buf.Block()
+	buf.Release()
+	return n, nil
+}
+
+// keeper stores the buffer away (summary: BufEscapes): ownership
+// transfers to the holder, which releases it later.
+type keeper struct{ buf *buffer.Buf }
+
+func stash(k *keeper, b *buffer.Buf) { k.buf = b }
+
+func handedToKeeper(p *buffer.Pool, rel buffer.RelID, k *keeper) error {
+	buf, err := p.Pin(rel, 0)
+	if err != nil {
+		return err
+	}
+	stash(k, buf)
+	return nil
+}

@@ -9,6 +9,7 @@ import (
 	"vecstudy/internal/minheap"
 	"vecstudy/internal/pase"
 	"vecstudy/internal/pg/am"
+	"vecstudy/internal/pg/buffer"
 	"vecstudy/internal/pg/heap"
 	"vecstudy/internal/pg/page"
 	"vecstudy/internal/vec"
@@ -189,12 +190,26 @@ func (ix *Index) scanBuckets(kern vec.Kernel, query []float32, probes []int32, e
 
 // pageScanScratch holds the reusable per-page views of a bucket scan:
 // parallel TID/norm/code slices refilled for each visited page, plus the
-// distance buffer the batch-scoring path writes into.
+// distance buffer the batch-scoring path writes into. The page field
+// escorts the views: it holds the pin whose frame the code slices point
+// into, so the views are valid exactly while it is non-nil (pagealias
+// permits view stores into a struct only when the struct carries the
+// pin alongside).
 type pageScanScratch struct {
+	page  *buffer.Buf
 	tids  []heap.TID
 	codes [][]byte
 	norms []float32
 	dists []float32
+}
+
+// releasePage drops the escorted pin; the code views stored in sc are
+// invalid past this point.
+func (sc *pageScanScratch) releasePage() {
+	if sc.page != nil {
+		sc.page.Release()
+		sc.page = nil
+	}
 }
 
 // scanBucketPages walks one bucket's page chain through the buffer pool
@@ -231,6 +246,10 @@ func (ix *Index) scanBucketPages(cid int32, sc *pageScanScratch, visit func(tids
 			tTuple.Stop(ts)
 			return err
 		}
+		// Escort the pin in the scratch: the code views appended below
+		// point into this frame, and sc.page holding it is what makes
+		// storing them legal (and keeps it legal only until releasePage).
+		sc.page = dbuf
 		pg := dbuf.Page()
 		n := pg.NumItems()
 		sc.tids = sc.tids[:0]
@@ -243,7 +262,7 @@ func (ix *Index) scanBucketPages(cid int32, sc *pageScanScratch, visit func(tids
 					continue // tombstoned entry: skip, reclaimed by Maintain
 				}
 				tTuple.Stop(ts)
-				dbuf.Release()
+				sc.releasePage()
 				return err
 			}
 			sc.tids = append(sc.tids, heap.UnpackTID(item))
@@ -252,11 +271,11 @@ func (ix *Index) scanBucketPages(cid int32, sc *pageScanScratch, visit func(tids
 		}
 		tTuple.Stop(ts)
 		if err := visit(sc.tids, sc.codes, sc.norms); err != nil {
-			dbuf.Release()
+			sc.releasePage()
 			return err
 		}
 		next = pase.NextBlk(pg)
-		dbuf.Release()
+		sc.releasePage()
 	}
 	return nil
 }
